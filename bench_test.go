@@ -1,0 +1,424 @@
+package hfc_test
+
+// Benchmark harness: one benchmark per paper table/figure plus the ablation
+// benches DESIGN.md calls out. Each figure bench sets up its environments
+// outside the timer and measures the operation the figure is about; on the
+// first iteration it logs the regenerated rows (run with -v to see them).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig10 -benchtime=1x -v   # print the rows
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/env"
+	"hfc/internal/experiments"
+	"hfc/internal/overlay"
+	"hfc/internal/routing"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// benchSizes are the Table 1 overlay sizes; override the heavyweight ones
+// away with -short.
+func benchSpecs(b *testing.B) []env.Spec {
+	b.Helper()
+	specs := env.Table1(42)
+	if testing.Short() {
+		return specs[:1]
+	}
+	return specs
+}
+
+// envCache builds each environment once per bench binary run.
+var (
+	envMu    sync.Mutex
+	envCache = map[int64]*env.Environment{}
+)
+
+func cachedEnv(b *testing.B, spec env.Spec) *env.Environment {
+	b.Helper()
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[spec.Seed]; ok && e.Spec == spec {
+		return e
+	}
+	e, err := env.Build(spec)
+	if err != nil {
+		b.Fatalf("env.Build: %v", err)
+	}
+	envCache[spec.Seed] = e
+	return e
+}
+
+// BenchmarkTable1EnvBuild regenerates Table 1: the cost of building each
+// simulation environment end to end (topology, GNP embedding, clustering,
+// borders, state, mesh).
+func BenchmarkTable1EnvBuild(b *testing.B) {
+	for _, spec := range benchSpecs(b) {
+		spec := spec
+		b.Run(fmt.Sprintf("proxies=%d", spec.Proxies), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := spec
+				s.Seed = spec.Seed + int64(i)
+				if _, err := env.Build(s); err != nil {
+					b.Fatalf("Build: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9aCoordinatesOverhead regenerates Figure 9(a): per-proxy
+// coordinate state under HFC, measured by materializing each node's view.
+func BenchmarkFig9aCoordinatesOverhead(b *testing.B) {
+	for _, spec := range benchSpecs(b) {
+		spec := spec
+		b.Run(fmt.Sprintf("proxies=%d", spec.Proxies), func(b *testing.B) {
+			e := cachedEnv(b, spec)
+			topo := e.Framework.Topology()
+			b.ResetTimer()
+			var total int
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for node := 0; node < topo.N(); node++ {
+					view, err := topo.View(node)
+					if err != nil {
+						b.Fatalf("View: %v", err)
+					}
+					total += view.CoordinateStateSize()
+				}
+			}
+			b.ReportMetric(float64(total)/float64(topo.N()), "coordstates/proxy")
+			if b.N == 1 {
+				b.Logf("Fig9a: proxies=%d flat=%d hfc=%.1f", spec.Proxies, spec.Proxies, float64(total)/float64(topo.N()))
+			}
+		})
+	}
+}
+
+// BenchmarkFig9bServiceOverhead regenerates Figure 9(b): per-proxy service
+// capability state, measured by running the §4 state protocol.
+func BenchmarkFig9bServiceOverhead(b *testing.B) {
+	for _, spec := range benchSpecs(b) {
+		spec := spec
+		b.Run(fmt.Sprintf("proxies=%d", spec.Proxies), func(b *testing.B) {
+			e := cachedEnv(b, spec)
+			topo := e.Framework.Topology()
+			caps := e.Framework.Capabilities()
+			b.ResetTimer()
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				states, _, err := state.Distribute(topo, caps)
+				if err != nil {
+					b.Fatalf("Distribute: %v", err)
+				}
+				total := 0
+				for n := range states {
+					total += states[n].ServiceStateSize()
+				}
+				mean = float64(total) / float64(len(states))
+			}
+			b.ReportMetric(mean, "svcstates/proxy")
+			if b.N == 1 {
+				b.Logf("Fig9b: proxies=%d flat=%d hfc=%.1f", spec.Proxies, spec.Proxies, mean)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10PathEfficiency regenerates Figure 10: per-request routing
+// under the three schemes; the reported path lengths (true delay) are the
+// figure's bars.
+func BenchmarkFig10PathEfficiency(b *testing.B) {
+	for _, spec := range benchSpecs(b) {
+		spec := spec
+		e := cachedEnv(b, spec)
+		fw := e.Framework
+		provs := routing.CapabilityProviders(fw.Capabilities())
+		hfcMetric := routing.HFCMetric{T: fw.Topology()}
+		meshOracle := routing.OracleFunc(e.Mesh.Dist)
+		meshExp := routing.ExpanderFunc(e.Mesh.Path)
+
+		// Pre-draw a request pool so every scheme sees the same stream.
+		reqs := make([]svc.Request, 256)
+		for i := range reqs {
+			r, err := e.NextRequest()
+			if err != nil {
+				b.Fatalf("NextRequest: %v", err)
+			}
+			reqs[i] = r
+		}
+
+		schemes := []struct {
+			name  string
+			route func(svc.Request) (*routing.Path, error)
+		}{
+			{"mesh", func(r svc.Request) (*routing.Path, error) {
+				return routing.FindPath(r, provs, meshOracle, meshExp)
+			}},
+			{"hfc-agg", fw.Route},
+			{"hfc-full", func(r svc.Request) (*routing.Path, error) {
+				return routing.FindPath(r, provs, hfcMetric, hfcMetric)
+			}},
+		}
+		for _, scheme := range schemes {
+			scheme := scheme
+			b.Run(fmt.Sprintf("proxies=%d/%s", spec.Proxies, scheme.name), func(b *testing.B) {
+				sum := 0.0
+				for i := 0; i < b.N; i++ {
+					req := reqs[i%len(reqs)]
+					p, err := scheme.route(req)
+					if err != nil {
+						b.Fatalf("%s route: %v", scheme.name, err)
+					}
+					sum += p.Length(e.TrueDist)
+				}
+				b.ReportMetric(sum/float64(b.N), "pathlen-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRelax regenerates ablation A3: the three cluster-level
+// relaxation modes on the same environment and request stream.
+func BenchmarkAblationRelax(b *testing.B) {
+	spec := env.Table1(42)[0]
+	e := cachedEnv(b, spec)
+	topo := e.Framework.Topology()
+	states := e.Framework.States()
+	reqs := make([]svc.Request, 128)
+	for i := range reqs {
+		r, err := e.NextRequest()
+		if err != nil {
+			b.Fatalf("NextRequest: %v", err)
+		}
+		reqs[i] = r
+	}
+	for _, mode := range []routing.RelaxMode{routing.RelaxBacktrack, routing.RelaxExact, routing.RelaxExternalOnly} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				req := reqs[i%len(reqs)]
+				p, err := routing.RouteHierarchical(topo, states, req, mode)
+				if err != nil {
+					b.Fatalf("route: %v", err)
+				}
+				sum += p.Length(e.TrueDist)
+			}
+			b.ReportMetric(sum/float64(b.N), "pathlen-ms")
+		})
+	}
+}
+
+// BenchmarkAblationBorder regenerates ablations A4/A5 (border-selection
+// rules) via the experiment runner.
+func BenchmarkAblationBorder(b *testing.B) {
+	spec := env.SmallSpec(42)
+	spec.Proxies = 100
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationBorder(spec, 50)
+		if err != nil {
+			b.Fatalf("RunAblationBorder: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + experiments.FormatAblationBorder(rows))
+		}
+	}
+}
+
+// BenchmarkAblationK regenerates ablation A1 (inconsistency factor sweep).
+func BenchmarkAblationK(b *testing.B) {
+	spec := env.SmallSpec(42)
+	spec.Proxies = 100
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationK(spec, []float64{2, 3, 4}, 50)
+		if err != nil {
+			b.Fatalf("RunAblationK: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + experiments.FormatAblationK(rows))
+		}
+	}
+}
+
+// BenchmarkAblationDim regenerates ablation A2 (embedding dimension).
+func BenchmarkAblationDim(b *testing.B) {
+	spec := env.SmallSpec(42)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationDim(spec, []int{2, 3}, 25, 400)
+		if err != nil {
+			b.Fatalf("RunAblationDim: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + experiments.FormatAblationDim(rows))
+		}
+	}
+}
+
+// BenchmarkQoSExtension regenerates the §7 QoS experiment (flat vs
+// hierarchical aggregated QoS routing, both admission policies).
+func BenchmarkQoSExtension(b *testing.B) {
+	spec := env.SmallSpec(42)
+	spec.Proxies = 100
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunQoS(spec, experiments.DefaultQoSSettings(), 40)
+		if err != nil {
+			b.Fatalf("RunQoS: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + experiments.FormatQoS(rows))
+		}
+	}
+}
+
+// BenchmarkAblationChurn regenerates ablation A6 (join-nearest vs
+// re-clustering).
+func BenchmarkAblationChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationChurn(42, 120, []int{0, 40, 120})
+		if err != nil {
+			b.Fatalf("RunAblationChurn: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + experiments.FormatAblationChurn(rows))
+		}
+	}
+}
+
+// BenchmarkMultiLevel regenerates the tri-level comparison (state vs path
+// quality of adding a third hierarchy tier).
+func BenchmarkMultiLevel(b *testing.B) {
+	specs := env.Table1(42)[:1]
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunMultiLevel(specs, 50)
+		if err != nil {
+			b.Fatalf("RunMultiLevel: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + experiments.FormatMultiLevel(rows))
+		}
+	}
+}
+
+// BenchmarkAblationLandmarks regenerates ablation A8 (landmark placement).
+func BenchmarkAblationLandmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationLandmarks(42, 300, 80, 8, 400, 1)
+		if err != nil {
+			b.Fatalf("RunAblationLandmarks: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + experiments.FormatAblationLandmarks(rows))
+		}
+	}
+}
+
+// BenchmarkGNPEmbedLandmarks measures phase 1 of §3.1 (the m-landmark
+// simplex fit).
+func BenchmarkGNPEmbedLandmarks(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := 10
+	pts := make([]coords.Point, m)
+	for i := range pts {
+		pts[i] = coords.Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	dists := make([][]float64, m)
+	for i := range dists {
+		dists[i] = make([]float64, m)
+		for j := range dists[i] {
+			dists[i][j] = coords.Dist(pts[i], pts[j])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coords.EmbedLandmarks(rng, dists, 2); err != nil {
+			b.Fatalf("EmbedLandmarks: %v", err)
+		}
+	}
+}
+
+// BenchmarkGNPPlaceNode measures phase 2 of §3.1 (per-proxy placement).
+func BenchmarkGNPPlaceNode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	landmarks := []coords.Point{{0, 0}, {100, 0}, {0, 100}, {100, 100}, {50, 20}, {20, 80}}
+	truth := coords.Point{37, 61}
+	dists := make([]float64, len(landmarks))
+	for i, lm := range landmarks {
+		dists[i] = coords.Dist(truth, lm)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coords.PlaceNode(rng, landmarks, dists); err != nil {
+			b.Fatalf("PlaceNode: %v", err)
+		}
+	}
+}
+
+// BenchmarkZahnClustering measures §3.2 MST cluster detection at overlay
+// scale.
+func BenchmarkZahnClustering(b *testing.B) {
+	for _, n := range []int{250, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			pts := make([]coords.Point, n)
+			for i := range pts {
+				c := i % 8
+				pts[i] = coords.Point{float64(c%4)*200 + rng.Float64()*30, float64(c/4)*200 + rng.Float64()*30}
+			}
+			dist := func(i, j int) float64 { return coords.Dist(pts[i], pts[j]) }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Cluster(n, dist, cluster.DefaultConfig()); err != nil {
+					b.Fatalf("Cluster: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStateDistribute measures one synchronous §4 protocol round.
+func BenchmarkStateDistribute(b *testing.B) {
+	spec := env.Table1(42)[0]
+	e := cachedEnv(b, spec)
+	topo := e.Framework.Topology()
+	caps := e.Framework.Capabilities()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := state.Distribute(topo, caps); err != nil {
+			b.Fatalf("Distribute: %v", err)
+		}
+	}
+}
+
+// BenchmarkOverlayProtocolRound measures a live concurrent protocol round
+// (goroutine-per-proxy message passing).
+func BenchmarkOverlayProtocolRound(b *testing.B) {
+	spec := env.SmallSpec(42)
+	spec.Proxies = 100
+	e := cachedEnv(b, spec)
+	sys, err := overlay.New(e.Framework.Topology(), e.Framework.Capabilities(), overlay.Config{})
+	if err != nil {
+		b.Fatalf("overlay.New: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		b.Fatalf("Start: %v", err)
+	}
+	defer func() {
+		if err := sys.Stop(); err != nil {
+			b.Errorf("Stop: %v", err)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.TriggerStateRound()
+		sys.Quiesce()
+	}
+}

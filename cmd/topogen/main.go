@@ -1,0 +1,106 @@
+// Command topogen generates transit-stub (or Waxman / flat random) physical
+// topologies and writes them as JSON, with an optional summary of the delay
+// structure. It is the reproduction's stand-in for GT-ITM. The output can
+// be read back with topology.ReadJSON (and `topogen -check` verifies the
+// round trip).
+//
+// Usage:
+//
+//	topogen -model ts -size 600 -seed 7 -o topo.json
+//	topogen -model waxman -n 200 -summary
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hfc/internal/stats"
+	"hfc/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := flag.String("model", "ts", "topology model: ts (transit-stub), waxman, flat")
+	size := flag.Int("size", 300, "target node count for -model ts (must be >= 100)")
+	n := flag.Int("n", 100, "node count for -model waxman/flat")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	summary := flag.Bool("summary", false, "print delay-structure summary to stderr")
+	check := flag.Bool("check", false, "verify the serialized topology round-trips")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var topo *topology.Topology
+	var err error
+	switch *model {
+	case "ts":
+		var cfg topology.TransitStubConfig
+		cfg, err = topology.ConfigForSize(*size)
+		if err != nil {
+			return err
+		}
+		topo, err = topology.GenerateTransitStub(rng, cfg)
+	case "waxman":
+		topo, err = topology.GenerateWaxman(rng, *n, 1000, 0.4, 0.2)
+	case "flat":
+		topo, err = topology.GenerateFlatRandom(rng, *n, 0.05, topology.DelayRange{Lo: 1, Hi: 50})
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	if err := topo.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if *check {
+		reread, err := topology.ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return fmt.Errorf("round-trip failed: %w", err)
+		}
+		if reread.N() != topo.N() || reread.Graph.M() != topo.Graph.M() {
+			return fmt.Errorf("round-trip mismatch: %d/%d nodes, %d/%d edges",
+				reread.N(), topo.N(), reread.Graph.M(), topo.Graph.M())
+		}
+		fmt.Fprintln(os.Stderr, "round-trip ok")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "topogen: closing output:", cerr)
+			}
+		}()
+		w = f
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+
+	if *summary {
+		var delays []float64
+		for _, e := range topo.Graph.Edges() {
+			delays = append(delays, e.Weight)
+		}
+		fmt.Fprintf(os.Stderr, "nodes=%d edges=%d transit-domains=%d stub-domains=%d\n",
+			topo.N(), topo.Graph.M(), topo.NumTransitDomains, topo.NumStubDomains)
+		fmt.Fprintf(os.Stderr, "link delays: %s\n", stats.Summarize(delays))
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Qosrouting: the paper's §7 future-work extension in action. Proxies have
+// machine loads and overlay hops have bandwidth (the bottleneck of the
+// physical route); requests carry QoS constraints. The example routes the
+// same request under tightening constraints and shows the hierarchical
+// router with aggregated QoS state (optimistic admission, exact child
+// enforcement) against the flat full-state baseline, plus a
+// provider-disjoint backup path for failover.
+//
+//	go run ./examples/qosrouting
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hfc/internal/env"
+	"hfc/internal/qos"
+	"hfc/internal/routing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qosrouting:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec := env.SmallSpec(19)
+	spec.Proxies = 100
+	spec.CatalogSize = 25
+	e, err := env.Build(spec)
+	if err != nil {
+		return err
+	}
+	fw := e.Framework
+	prof, err := e.QoSProfile(rand.New(rand.NewSource(7)), 0, 0.95)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overlay: %d proxies, %d clusters, loads in [0,0.95), bandwidth from physical bottlenecks\n\n",
+		fw.N(), fw.NumClusters())
+
+	router, err := qos.NewRouter(fw.Topology(), fw.States(), fw.Capabilities(), prof)
+	if err != nil {
+		return err
+	}
+	req, err := e.NextRequest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("request: proxy %d -> [%s] -> proxy %d\n\n", req.Source, req.SG, req.Dest)
+
+	metric := routing.HFCMetric{T: fw.Topology()}
+	provs := routing.CapabilityProviders(fw.Capabilities())
+	for _, cons := range []qos.Constraints{
+		{},
+		{MaxLoad: 0.5},
+		{MaxLoad: 0.5, MinBandwidth: 25},
+		{MaxLoad: 0.5, MinBandwidth: 45},
+	} {
+		fmt.Printf("constraints: maxLoad=%.2f minBW=%.0f Mbps\n", orOne(cons.MaxLoad), cons.MinBandwidth)
+		flat, flatErr := qos.FindPath(req, provs, metric, prof, cons, metric)
+		if flatErr != nil {
+			fmt.Printf("  flat (full state):        blocked (%v)\n", flatErr)
+		} else {
+			fmt.Printf("  flat (full state):        %s  len=%.1f\n", flat, flat.Length(e.TrueDist))
+		}
+		hier, hierErr := router.Route(req, cons)
+		switch {
+		case hierErr != nil && flatErr == nil:
+			fmt.Printf("  hierarchical (aggregates): falsely blocked — the aggregation-precision cost\n")
+		case hierErr != nil:
+			fmt.Printf("  hierarchical (aggregates): blocked\n")
+		default:
+			fmt.Printf("  hierarchical (aggregates): %s  len=%.1f\n", hier, hier.Length(e.TrueDist))
+			if err := qos.VerifyPath(hier, prof, cons); err != nil {
+				return fmt.Errorf("constraint violation (bug): %w", err)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Failover: a provider-disjoint backup for the unconstrained request.
+	primary, backup, err := routing.FindDisjointPair(req, provs, metric, metric)
+	if err != nil && !errors.Is(err, routing.ErrNoBackup) {
+		return err
+	}
+	fmt.Printf("failover pair:\n  primary: %s\n", primary)
+	if backup != nil {
+		fmt.Printf("  backup:  %s (disjoint providers, +%.1f%% length)\n",
+			backup, 100*(backup.DecisionCost-primary.DecisionCost)/primary.DecisionCost)
+	} else {
+		fmt.Println("  backup:  none (some service has a single provider)")
+	}
+	return nil
+}
+
+func orOne(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,46 @@
+package hfc_test
+
+// Every example main must build and run to completion — examples are part
+// of the public contract, so they are executed (not merely compiled) here.
+// Skipped under -short: each run builds a binary and simulates an overlay.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution skipped in short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d examples found, want >= 3", len(entries))
+	}
+	for _, entry := range entries {
+		if !entry.IsDir() {
+			continue
+		}
+		entry := entry
+		t.Run(entry.Name(), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+filepath.Join("examples", entry.Name()))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", entry.Name(), err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", entry.Name())
+			}
+		})
+	}
+}

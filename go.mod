@@ -1,0 +1,3 @@
+module hfc
+
+go 1.22

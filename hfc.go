@@ -1,0 +1,79 @@
+// Package hfc is a from-scratch Go reproduction of "Large-Scale Service
+// Overlay Networking with Distance-Based Clustering" (Jin & Nahrstedt,
+// Middleware 2003): a hierarchical service-routing middleware for large
+// service overlay networks.
+//
+// The paper's pipeline, end to end:
+//
+//   - overlay proxies obtain a complete distance map with O(m² + nm)
+//     measurements via landmark-based network coordinates (GNP);
+//   - proxies are clustered by Internet distance with Zahn's MST method;
+//   - the clusters form an HFC (Hierarchically Fully-Connected) topology:
+//     full connectivity inside clusters, closest-pair border proxies
+//     between clusters;
+//   - a two-tier state protocol gives every proxy full state of its own
+//     cluster (SCT_P) and aggregate state of every other cluster (SCT_C);
+//   - service requests (source proxy + service dependency graph +
+//     destination proxy) are routed hierarchically: the destination proxy
+//     computes a cluster-level service path over the aggregate state,
+//     dissects it into per-cluster child requests, and composes the
+//     optimal intra-cluster answers.
+//
+// This package is the import surface: it re-exports the assembled
+// framework from internal/core. The substrates live in internal/... (see
+// DESIGN.md for the inventory), runnable examples in examples/, and the
+// paper's full evaluation in cmd/experiments.
+package hfc
+
+import (
+	"math/rand"
+
+	"hfc/internal/coords"
+	"hfc/internal/core"
+	"hfc/internal/routing"
+	"hfc/internal/svc"
+)
+
+// Framework is the assembled HFC service-routing middleware.
+type Framework = core.Framework
+
+// Config tunes framework construction; the zero value selects the paper's
+// settings.
+type Config = core.Config
+
+// Service is a unique service name.
+type Service = svc.Service
+
+// Request is a service request: source proxy, service graph, destination
+// proxy.
+type Request = svc.Request
+
+// ServiceGraph is a linear or non-linear service dependency DAG.
+type ServiceGraph = svc.Graph
+
+// CapabilitySet is the set of services installed on one proxy.
+type CapabilitySet = svc.CapabilitySet
+
+// Path is a concrete service path.
+type Path = routing.Path
+
+// Measurer is the measurement substrate Bootstrap probes for delays;
+// *netsim.Network implements it, as would a real ping layer.
+type Measurer = coords.Measurer
+
+// Bootstrap builds the framework over a measurement substrate: landmark
+// and proxy node IDs, per-proxy service deployments, and a configuration.
+// See core.Bootstrap.
+func Bootstrap(rng *rand.Rand, m Measurer, landmarks, proxies []int, caps []CapabilitySet, cfg Config) (*Framework, error) {
+	return core.Bootstrap(rng, m, landmarks, proxies, caps, cfg)
+}
+
+// Linear builds a linear service graph s0 → s1 → ….
+func Linear(services ...Service) (*ServiceGraph, error) {
+	return svc.Linear(services...)
+}
+
+// NewCapabilitySet builds a capability set from service names.
+func NewCapabilitySet(services ...Service) CapabilitySet {
+	return svc.NewCapabilitySet(services...)
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hfc/internal/coords"
+)
+
+// diskBlobs generates c well-separated uniform-disk blobs of size per in 2-D
+// and returns the points plus ground-truth labels. Uniform disks avoid the
+// heavy tails of Gaussians, which make ground truth itself ambiguous.
+func diskBlobs(rng *rand.Rand, c, per int, radius, separation float64) ([]coords.Point, []int) {
+	var pts []coords.Point
+	var labels []int
+	for b := 0; b < c; b++ {
+		cx := float64(b) * separation
+		cy := float64(b%2) * separation
+		for i := 0; i < per; i++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := radius * math.Sqrt(rng.Float64())
+			pts = append(pts, coords.Point{cx + r*math.Cos(ang), cy + r*math.Sin(ang)})
+			labels = append(labels, b)
+		}
+	}
+	return pts, labels
+}
+
+func pointDist(pts []coords.Point) func(i, j int) float64 {
+	return func(i, j int) float64 { return coords.Dist(pts[i], pts[j]) }
+}
+
+func TestClusterFindsWellSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, labels := diskBlobs(rng, 4, 20, 4, 100)
+	res, err := Cluster(len(pts), pointDist(pts), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.NumClusters() != 4 {
+		t.Fatalf("found %d clusters, want 4 (removed %d edges)", res.NumClusters(), len(res.RemovedEdges))
+	}
+	// Every detected cluster must be pure w.r.t. ground truth.
+	for id, members := range res.Clusters {
+		truth := labels[members[0]]
+		for _, v := range members {
+			if labels[v] != truth {
+				t.Errorf("cluster %d mixes ground-truth labels %d and %d", id, truth, labels[v])
+			}
+		}
+	}
+}
+
+func TestClusterSingleBlobStaysWhole(t *testing.T) {
+	// A rim point that lands far from its neighbours can legitimately split
+	// off as a satellite cluster, so this uses a seed whose draw is a
+	// typical dense blob.
+	rng := rand.New(rand.NewSource(1))
+	pts, _ := diskBlobs(rng, 1, 40, 5, 0)
+	res, err := Cluster(len(pts), pointDist(pts), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.NumClusters() != 1 {
+		t.Errorf("uniform blob split into %d clusters", res.NumClusters())
+	}
+}
+
+func TestClusterSingleNode(t *testing.T) {
+	res, err := Cluster(1, func(i, j int) float64 { return 0 }, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.NumClusters() != 1 || len(res.Clusters[0]) != 1 {
+		t.Errorf("single node clustering = %+v", res.Clusters)
+	}
+}
+
+func TestClusterTwoDistantNodes(t *testing.T) {
+	// A single edge has no nearby edges, so it is consistent by definition
+	// and the pair stays one cluster regardless of length.
+	pts := []coords.Point{{0, 0}, {1000, 0}}
+	res, err := Cluster(2, pointDist(pts), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.NumClusters() != 1 {
+		t.Errorf("two isolated nodes split into %d clusters", res.NumClusters())
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	d := func(i, j int) float64 { return 1 }
+	if _, err := Cluster(0, d, DefaultConfig()); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := Cluster(3, nil, DefaultConfig()); err == nil {
+		t.Error("nil distance accepted")
+	}
+	bad := DefaultConfig()
+	bad.InconsistencyFactor = 0.5
+	if _, err := Cluster(3, d, bad); err == nil {
+		t.Error("k <= 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.NeighborhoodDepth = -1
+	if _, err := Cluster(3, d, bad); err == nil {
+		t.Error("negative depth accepted")
+	}
+	bad = DefaultConfig()
+	bad.Criterion = Criterion(99)
+	if _, err := Cluster(3, d, bad); err == nil {
+		t.Error("unknown criterion accepted")
+	}
+	bad = DefaultConfig()
+	bad.MinClusterSize = -2
+	if _, err := Cluster(3, d, bad); err == nil {
+		t.Error("negative min cluster size accepted")
+	}
+}
+
+func TestClusterAssignmentConsistentWithClusters(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + rng.Intn(4)
+		pts, _ := diskBlobs(rng, c, 5+rng.Intn(10), 2, 80)
+		res, err := Cluster(len(pts), pointDist(pts), DefaultConfig())
+		if err != nil {
+			return false
+		}
+		// Every node appears in exactly one cluster, matching Assignment.
+		seen := make(map[int]bool)
+		for id, members := range res.Clusters {
+			for _, v := range members {
+				if seen[v] || res.Assignment[v] != id {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == len(pts)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := diskBlobs(rng, 3, 15, 4, 80)
+	a, err := Cluster(len(pts), pointDist(pts), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	b, err := Cluster(len(pts), pointDist(pts), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if a.NumClusters() != b.NumClusters() {
+		t.Fatalf("non-deterministic cluster counts: %d vs %d", a.NumClusters(), b.NumClusters())
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("non-deterministic assignment at node %d", i)
+		}
+	}
+}
+
+func TestHigherKMergesMoreProperty(t *testing.T) {
+	// Raising the inconsistency factor can only remove fewer edges, so the
+	// cluster count must be non-increasing in k.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts, _ := diskBlobs(rng, 3, 12, 5, 40)
+		prev := math.MaxInt
+		for _, k := range []float64{1.5, 2, 3, 4, 6} {
+			cfg := DefaultConfig()
+			cfg.InconsistencyFactor = k
+			res, err := Cluster(len(pts), pointDist(pts), cfg)
+			if err != nil {
+				return false
+			}
+			if res.NumClusters() > prev {
+				return false
+			}
+			prev = res.NumClusters()
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriterionVariantsAllFindObviousBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts, _ := diskBlobs(rng, 3, 20, 2, 200)
+	for _, crit := range []Criterion{CriterionCombined, CriterionBothSides, CriterionMaxSide} {
+		cfg := DefaultConfig()
+		cfg.Criterion = crit
+		res, err := Cluster(len(pts), pointDist(pts), cfg)
+		if err != nil {
+			t.Fatalf("Cluster(%v): %v", crit, err)
+		}
+		if res.NumClusters() != 3 {
+			t.Errorf("criterion %v found %d clusters, want 3", crit, res.NumClusters())
+		}
+	}
+}
+
+func TestMinClusterSizeMergesSingletons(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts, _ := diskBlobs(rng, 2, 20, 3, 100)
+	// Add a lone outlier far from both blobs but nearer blob 1.
+	pts = append(pts, coords.Point{100 + 60, 40})
+	cfg := DefaultConfig()
+	cfg.MinClusterSize = 3
+	res, err := Cluster(len(pts), pointDist(pts), cfg)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	for _, members := range res.Clusters {
+		if len(members) < 3 {
+			t.Errorf("cluster of size %d survived MinClusterSize=3", len(members))
+		}
+	}
+}
+
+func TestEvaluateQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts, _ := diskBlobs(rng, 3, 15, 3, 100)
+	dist := pointDist(pts)
+	res, err := Cluster(len(pts), dist, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	q := Evaluate(res, dist)
+	if q.NumClusters != res.NumClusters() {
+		t.Errorf("Quality.NumClusters = %d, want %d", q.NumClusters, res.NumClusters())
+	}
+	if q.Separation < 5 {
+		t.Errorf("Separation = %.2f for well-separated blobs, want >= 5", q.Separation)
+	}
+	if q.MaxClusterFraction <= 0 || q.MaxClusterFraction > 1 {
+		t.Errorf("MaxClusterFraction = %v out of (0,1]", q.MaxClusterFraction)
+	}
+}
+
+func TestEvaluateSingleCluster(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {1, 0}, {0, 1}}
+	dist := pointDist(pts)
+	res, err := Cluster(3, dist, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	q := Evaluate(res, dist)
+	if q.MeanInter != 0 {
+		t.Errorf("MeanInter = %v for single cluster, want 0", q.MeanInter)
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if CriterionCombined.String() != "combined" {
+		t.Error("CriterionCombined.String() wrong")
+	}
+	if Criterion(0).String() == "" {
+		t.Error("invalid criterion String() empty")
+	}
+}
+
+func TestMSTEdgeCountInvariant(t *testing.T) {
+	// The MST of n nodes has n-1 edges, and clusters = removed edges + 1
+	// when the removed edges are a subset of the tree.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		pts := make([]coords.Point, n)
+		for i := range pts {
+			pts[i] = coords.Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		res, err := Cluster(n, pointDist(pts), DefaultConfig())
+		if err != nil {
+			return false
+		}
+		return len(res.MSTEdges) == n-1 && res.NumClusters() == len(res.RemovedEdges)+1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriterionGlobalMedianOnTinySets(t *testing.T) {
+	// Three collinear tight pairs far apart: local neighbourhood averages
+	// are dominated by the long edges themselves, but the global median
+	// (a short intra-pair edge) exposes them.
+	pts := []coords.Point{
+		{0, 0}, {1, 0},
+		{100, 0}, {101, 0},
+		{200, 0}, {201, 0},
+	}
+	cfg := DefaultConfig()
+	cfg.Criterion = CriterionGlobalMedian
+	res, err := Cluster(len(pts), pointDist(pts), cfg)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.NumClusters() != 3 {
+		t.Errorf("global-median found %d clusters, want 3", res.NumClusters())
+	}
+	// The local combined criterion cannot separate this set (each long
+	// edge's neighbourhood contains the other long edge).
+	res2, err := Cluster(len(pts), pointDist(pts), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res2.NumClusters() >= 3 {
+		t.Logf("note: combined criterion also found %d clusters here", res2.NumClusters())
+	}
+}
+
+func TestCriterionGlobalMedianUniformStaysWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, _ := diskBlobs(rng, 1, 40, 5, 0)
+	cfg := DefaultConfig()
+	cfg.Criterion = CriterionGlobalMedian
+	res, err := Cluster(len(pts), pointDist(pts), cfg)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.NumClusters() > 2 {
+		t.Errorf("uniform blob split into %d clusters under global median", res.NumClusters())
+	}
+}

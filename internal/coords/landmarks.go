@@ -1,0 +1,79 @@
+package coords
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SelectLandmarksRandom picks k distinct landmarks uniformly from the
+// candidate pool — the baseline placement strategy.
+func SelectLandmarksRandom(rng *rand.Rand, pool []int, k int) ([]int, error) {
+	if rng == nil {
+		return nil, errors.New("coords: nil rng")
+	}
+	if k < 2 || k > len(pool) {
+		return nil, fmt.Errorf("coords: cannot pick %d landmarks from pool of %d", k, len(pool))
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out, nil
+}
+
+// SelectLandmarksFarthestPoint picks k landmarks by greedy max-min
+// ("farthest point first") selection over measured distances: start from a
+// random pool node, then repeatedly add the candidate whose minimum
+// measured distance to the chosen set is largest. Spread-out landmarks
+// anchor the GNP embedding better than clumped ones (Ng & Zhang study
+// exactly this placement question); the ablation-landmarks experiment
+// quantifies the effect. Measurement cost is O(k·|pool|) probes.
+func SelectLandmarksFarthestPoint(rng *rand.Rand, m Measurer, pool []int, k, probes int) ([]int, error) {
+	if rng == nil {
+		return nil, errors.New("coords: nil rng")
+	}
+	if m == nil {
+		return nil, errors.New("coords: nil measurer")
+	}
+	if k < 2 || k > len(pool) {
+		return nil, fmt.Errorf("coords: cannot pick %d landmarks from pool of %d", k, len(pool))
+	}
+	if probes < 1 {
+		return nil, fmt.Errorf("coords: probe count %d must be >= 1", probes)
+	}
+	chosen := []int{pool[rng.Intn(len(pool))]}
+	chosenSet := map[int]bool{chosen[0]: true}
+	// minDist[i] tracks pool[i]'s distance to the nearest chosen landmark.
+	minDist := make([]float64, len(pool))
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for len(chosen) < k {
+		latest := chosen[len(chosen)-1]
+		bestIdx := -1
+		for i, cand := range pool {
+			if chosenSet[cand] {
+				continue
+			}
+			d, err := m.MeasureMin(rng, cand, latest, probes)
+			if err != nil {
+				return nil, fmt.Errorf("coords: measuring candidate %d: %w", cand, err)
+			}
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+			if bestIdx == -1 || minDist[i] > minDist[bestIdx] {
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			return nil, errors.New("coords: candidate pool exhausted")
+		}
+		chosen = append(chosen, pool[bestIdx])
+		chosenSet[pool[bestIdx]] = true
+	}
+	return chosen, nil
+}

@@ -1,0 +1,111 @@
+package coords
+
+import (
+	"math/rand"
+	"testing"
+
+	"hfc/internal/stats"
+)
+
+func TestSelectLandmarksRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := []int{10, 20, 30, 40, 50}
+	got, err := SelectLandmarksRandom(rng, pool, 3)
+	if err != nil {
+		t.Fatalf("SelectLandmarksRandom: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d landmarks, want 3", len(got))
+	}
+	seen := map[int]bool{}
+	inPool := map[int]bool{}
+	for _, p := range pool {
+		inPool[p] = true
+	}
+	for _, l := range got {
+		if seen[l] {
+			t.Errorf("duplicate landmark %d", l)
+		}
+		if !inPool[l] {
+			t.Errorf("landmark %d not from pool", l)
+		}
+		seen[l] = true
+	}
+	if _, err := SelectLandmarksRandom(nil, pool, 3); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := SelectLandmarksRandom(rng, pool, 1); err == nil {
+		t.Error("k < 2 accepted")
+	}
+	if _, err := SelectLandmarksRandom(rng, pool, 9); err == nil {
+		t.Error("k > pool accepted")
+	}
+}
+
+func TestSelectLandmarksFarthestPointSpreads(t *testing.T) {
+	net := buildNetwork(t, 51)
+	rng := rand.New(rand.NewSource(52))
+	pool := net.Topology().StubNodes()
+
+	fps, err := SelectLandmarksFarthestPoint(rng, net, pool, 8, 3)
+	if err != nil {
+		t.Fatalf("SelectLandmarksFarthestPoint: %v", err)
+	}
+	if len(fps) != 8 {
+		t.Fatalf("got %d landmarks", len(fps))
+	}
+	seen := map[int]bool{}
+	for _, l := range fps {
+		if seen[l] {
+			t.Fatalf("duplicate landmark %d", l)
+		}
+		seen[l] = true
+	}
+	// Spread check: the FPS set's minimum pairwise true distance should
+	// comfortably exceed a random selection's, on average over draws.
+	minPair := func(ids []int) float64 {
+		best := -1.0
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				d := net.Latency(ids[i], ids[j])
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+	fpsSpread := minPair(fps)
+	var randSpreads []float64
+	for trial := 0; trial < 10; trial++ {
+		r, err := SelectLandmarksRandom(rng, pool, 8)
+		if err != nil {
+			t.Fatalf("SelectLandmarksRandom: %v", err)
+		}
+		randSpreads = append(randSpreads, minPair(r))
+	}
+	if fpsSpread <= stats.Mean(randSpreads) {
+		t.Errorf("FPS min-pair spread %.2f not above random mean %.2f", fpsSpread, stats.Mean(randSpreads))
+	}
+}
+
+func TestSelectLandmarksFarthestPointValidation(t *testing.T) {
+	net := buildNetwork(t, 53)
+	rng := rand.New(rand.NewSource(54))
+	pool := net.Topology().StubNodes()[:10]
+	if _, err := SelectLandmarksFarthestPoint(nil, net, pool, 3, 2); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := SelectLandmarksFarthestPoint(rng, nil, pool, 3, 2); err == nil {
+		t.Error("nil measurer accepted")
+	}
+	if _, err := SelectLandmarksFarthestPoint(rng, net, pool, 1, 2); err == nil {
+		t.Error("k < 2 accepted")
+	}
+	if _, err := SelectLandmarksFarthestPoint(rng, net, pool, 11, 2); err == nil {
+		t.Error("k > pool accepted")
+	}
+	if _, err := SelectLandmarksFarthestPoint(rng, net, pool, 3, 0); err == nil {
+		t.Error("zero probes accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package coords
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hfc/internal/netsim"
+	"hfc/internal/stats"
+	"hfc/internal/topology"
+)
+
+func buildNetwork(t *testing.T, seed int64) *netsim.Network {
+	t.Helper()
+	topo, err := topology.GenerateTransitStub(rand.New(rand.NewSource(seed)), topology.DefaultTransitStubConfig())
+	if err != nil {
+		t.Fatalf("GenerateTransitStub: %v", err)
+	}
+	net, err := netsim.New(topo)
+	if err != nil {
+		t.Fatalf("netsim.New: %v", err)
+	}
+	return net
+}
+
+// pickNodes selects count distinct stub node IDs.
+func pickNodes(rng *rand.Rand, pool []int, count int) []int {
+	perm := rng.Perm(len(pool))
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+func TestBuildMapEndToEndAccuracy(t *testing.T) {
+	net := buildNetwork(t, 10)
+	rng := rand.New(rand.NewSource(20))
+	pool := net.Topology().StubNodes()
+	ids := pickNodes(rng, pool, 50)
+	landmarks, nodes := ids[:10], ids[10:]
+
+	cmap, lmPoints, err := BuildMap(rng, net, landmarks, nodes, 2, 5)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	if cmap.N() != len(nodes) {
+		t.Fatalf("map has %d points, want %d", cmap.N(), len(nodes))
+	}
+	if len(lmPoints) != len(landmarks) {
+		t.Fatalf("got %d landmark points, want %d", len(lmPoints), len(landmarks))
+	}
+
+	// GNP on transit-stub topologies reaches median relative error well
+	// under 50%; verify the embedding is genuinely predictive.
+	var errs []float64
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			pred := cmap.Dist(i, j)
+			actual := net.Latency(nodes[i], nodes[j])
+			errs = append(errs, RelativeError(pred, actual))
+		}
+	}
+	med := stats.Median(errs)
+	if med > 0.5 {
+		t.Errorf("median relative error %.3f, want <= 0.5", med)
+	}
+	t.Logf("embedding quality: median rel-err %.3f, p90 %.3f", med, stats.Percentile(errs, 90))
+}
+
+func TestBuildMapPreservesNearVsFar(t *testing.T) {
+	// The property clustering actually needs: same-stub-domain pairs must
+	// on average embed much closer than cross-transit-domain pairs.
+	net := buildNetwork(t, 11)
+	rng := rand.New(rand.NewSource(21))
+	topo := net.Topology()
+	pool := topo.StubNodes()
+	ids := pickNodes(rng, pool, 60)
+	landmarks, nodes := ids[:10], ids[10:]
+	cmap, _, err := BuildMap(rng, net, landmarks, nodes, 2, 5)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	var near, far []float64
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := topo.Nodes[nodes[i]], topo.Nodes[nodes[j]]
+			switch {
+			case a.StubDomain == b.StubDomain:
+				near = append(near, cmap.Dist(i, j))
+			case a.TransitDomain != b.TransitDomain:
+				far = append(far, cmap.Dist(i, j))
+			}
+		}
+	}
+	if len(near) == 0 || len(far) == 0 {
+		t.Skip("sample produced no near/far pairs")
+	}
+	if stats.Mean(far) < 2*stats.Mean(near) {
+		t.Errorf("embedded space too flat: near mean %.2f, far mean %.2f", stats.Mean(near), stats.Mean(far))
+	}
+}
+
+// failingMeasurer returns an error after a set number of calls, to exercise
+// error propagation.
+type failingMeasurer struct {
+	calls, failAt int
+}
+
+var errProbe = errors.New("probe failed")
+
+func (f *failingMeasurer) MeasureMin(rng *rand.Rand, u, v, probes int) (float64, error) {
+	f.calls++
+	if f.calls >= f.failAt {
+		return 0, errProbe
+	}
+	return 1 + float64(u+v), nil
+}
+
+func TestBuildMapValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &failingMeasurer{failAt: 1 << 30}
+	lms := []int{0, 1, 2}
+	nodes := []int{3, 4}
+
+	if _, _, err := BuildMap(nil, m, lms, nodes, 2, 3); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, _, err := BuildMap(rng, nil, lms, nodes, 2, 3); err == nil {
+		t.Error("nil measurer accepted")
+	}
+	if _, _, err := BuildMap(rng, m, lms[:1], nodes, 2, 3); err == nil {
+		t.Error("single landmark accepted")
+	}
+	if _, _, err := BuildMap(rng, m, lms, nil, 2, 3); err == nil {
+		t.Error("no nodes accepted")
+	}
+	if _, _, err := BuildMap(rng, m, lms, nodes, 2, 0); err == nil {
+		t.Error("zero probes accepted")
+	}
+}
+
+func TestBuildMapPropagatesMeasurementErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Fail during the landmark phase.
+	m := &failingMeasurer{failAt: 2}
+	if _, _, err := BuildMap(rng, m, []int{0, 1, 2}, []int{3}, 2, 1); !errors.Is(err, errProbe) {
+		t.Errorf("landmark-phase error = %v, want errProbe", err)
+	}
+	// Fail during the node phase (after all 3 landmark pairs succeed).
+	m = &failingMeasurer{failAt: 5}
+	if _, _, err := BuildMap(rng, m, []int{0, 1, 2}, []int{3}, 2, 1); !errors.Is(err, errProbe) {
+		t.Errorf("node-phase error = %v, want errProbe", err)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hfc/internal/netsim"
+	"hfc/internal/routing"
+	"hfc/internal/svc"
+	"hfc/internal/topology"
+)
+
+// buildWorld creates a physical network and role assignments for Bootstrap.
+func buildWorld(t *testing.T, seed int64, landmarks, proxies int) (*netsim.Network, []int, []int, []svc.CapabilitySet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo, err := topology.GenerateTransitStub(rng, topology.DefaultTransitStubConfig())
+	if err != nil {
+		t.Fatalf("GenerateTransitStub: %v", err)
+	}
+	net, err := netsim.New(topo)
+	if err != nil {
+		t.Fatalf("netsim.New: %v", err)
+	}
+	stubs := topo.StubNodes()
+	perm := rng.Perm(len(stubs))
+	lm := make([]int, landmarks)
+	for i := range lm {
+		lm[i] = stubs[perm[i]]
+	}
+	px := make([]int, proxies)
+	for i := range px {
+		px[i] = stubs[perm[landmarks+i]]
+	}
+	cat, err := svc.NewCatalog(15)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	caps, err := svc.RandomCapabilities(rng, proxies, cat, 2, 5)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	return net, lm, px, caps
+}
+
+func TestBootstrapEndToEnd(t *testing.T) {
+	net, lm, px, caps := buildWorld(t, 1, 8, 50)
+	rng := rand.New(rand.NewSource(2))
+	fw, err := Bootstrap(rng, net, lm, px, caps, Config{})
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if fw.N() != 50 {
+		t.Errorf("N = %d, want 50", fw.N())
+	}
+	if fw.NumClusters() < 2 {
+		t.Errorf("clusters = %d, want >= 2 on transit-stub", fw.NumClusters())
+	}
+	if err := fw.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(fw.LandmarkCoords()) != 8 {
+		t.Errorf("landmark coords = %d, want 8", len(fw.LandmarkCoords()))
+	}
+	if fw.StateMessageStats().Total() == 0 {
+		t.Error("no state messages recorded")
+	}
+
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 5)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		p, err := fw.Route(req)
+		if err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		if err := p.Validate(req, caps); err != nil {
+			t.Errorf("request %d: invalid path: %v", i, err)
+		}
+	}
+}
+
+func TestRouteDetailedExposesArtifacts(t *testing.T) {
+	net, lm, px, caps := buildWorld(t, 3, 8, 40)
+	rng := rand.New(rand.NewSource(4))
+	fw, err := Bootstrap(rng, net, lm, px, caps, Config{})
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	gen, err := svc.NewRequestGenerator(rng, caps, 3, 5)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	req, err := gen.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	res, err := fw.RouteDetailed(req)
+	if err != nil {
+		t.Fatalf("RouteDetailed: %v", err)
+	}
+	if len(res.CSP) != req.SG.Len() {
+		t.Errorf("CSP has %d entries for %d services", len(res.CSP), req.SG.Len())
+	}
+	if len(res.Children) == 0 || len(res.ChildPaths) != len(res.Children) {
+		t.Errorf("children/paths inconsistent: %d vs %d", len(res.Children), len(res.ChildPaths))
+	}
+	if res.Path == nil {
+		t.Fatal("nil final path")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	net, lm, px, caps := buildWorld(t, 5, 8, 20)
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Bootstrap(nil, net, lm, px, caps, Config{}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := Bootstrap(rng, net, lm, px, caps[:3], Config{}); err == nil {
+		t.Error("mismatched caps accepted")
+	}
+	if _, err := Bootstrap(rng, net, lm[:1], px, caps, Config{}); err == nil {
+		t.Error("single landmark accepted")
+	}
+	if _, err := Bootstrap(rng, nil, lm, px, caps, Config{}); err == nil {
+		t.Error("nil measurer accepted")
+	}
+}
+
+func TestRouteValidatesRequest(t *testing.T) {
+	net, lm, px, caps := buildWorld(t, 7, 8, 20)
+	rng := rand.New(rand.NewSource(8))
+	fw, err := Bootstrap(rng, net, lm, px, caps, Config{})
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	sg, err := svc.Linear("s0")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	if _, err := fw.Route(svc.Request{Source: 0, Dest: 99, SG: sg}); err == nil {
+		t.Error("out-of-range dest accepted")
+	}
+	if _, err := fw.RouteDetailed(svc.Request{Source: -1, Dest: 0, SG: sg}); err == nil {
+		t.Error("negative source accepted")
+	}
+}
+
+func TestConfigRelaxModesWork(t *testing.T) {
+	net, lm, px, caps := buildWorld(t, 9, 6, 30)
+	for _, mode := range []routing.RelaxMode{routing.RelaxBacktrack, routing.RelaxExact, routing.RelaxExternalOnly} {
+		rng := rand.New(rand.NewSource(10))
+		fw, err := Bootstrap(rng, net, lm, px, caps, Config{Relax: mode})
+		if err != nil {
+			t.Fatalf("Bootstrap(%v): %v", mode, err)
+		}
+		gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+		if err != nil {
+			t.Fatalf("NewRequestGenerator: %v", err)
+		}
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		p, err := fw.Route(req)
+		if err != nil {
+			t.Fatalf("Route(%v): %v", mode, err)
+		}
+		if err := p.Validate(req, caps); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestCapabilitiesAreIsolated(t *testing.T) {
+	net, lm, px, caps := buildWorld(t, 11, 6, 20)
+	rng := rand.New(rand.NewSource(12))
+	fw, err := Bootstrap(rng, net, lm, px, caps, Config{})
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	caps[0].Add("mutated-after-bootstrap")
+	if fw.Capabilities()[0].Has("mutated-after-bootstrap") {
+		t.Error("framework aliases caller capability sets")
+	}
+}
+
+func TestAccessorsAndValidate(t *testing.T) {
+	net, lm, px, caps := buildWorld(t, 13, 6, 20)
+	rng := rand.New(rand.NewSource(14))
+	fw, err := Bootstrap(rng, net, lm, px, caps, Config{})
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if fw.Topology() == nil {
+		t.Error("Topology() nil")
+	}
+	if len(fw.States()) != fw.N() {
+		t.Errorf("States() has %d entries, want %d", len(fw.States()), fw.N())
+	}
+	// Corrupt the framework's state: Validate must notice.
+	fw.States()[0].SCTC[0].Add("corruption")
+	if err := fw.Validate(); err == nil {
+		t.Error("Validate passed on corrupted state")
+	}
+}

@@ -1,0 +1,28 @@
+package env
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hfc/internal/qos"
+)
+
+// QoSProfile builds the overlay's QoS ground truth: random machine loads in
+// [loadLo, loadHi) and the physical network's bottleneck bandwidth between
+// proxy hosts as the overlay-hop bandwidth oracle.
+func (e *Environment) QoSProfile(rng *rand.Rand, loadLo, loadHi float64) (*qos.Profile, error) {
+	loads, err := qos.RandomLoads(rng, e.Framework.N(), loadLo, loadHi)
+	if err != nil {
+		return nil, fmt.Errorf("env: %w", err)
+	}
+	prof := &qos.Profile{
+		Load: loads,
+		Bandwidth: func(u, v int) (float64, error) {
+			return e.Net.Bottleneck(e.ProxyPhys[u], e.ProxyPhys[v])
+		},
+	}
+	if err := prof.Validate(e.Framework.N()); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}

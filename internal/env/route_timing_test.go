@@ -1,0 +1,53 @@
+package env
+
+import (
+	"testing"
+	"time"
+
+	"hfc/internal/routing"
+)
+
+// TestRouteTiming checks that per-request routing cost at the largest
+// Table 1 scale stays within interactive bounds for all three schemes.
+func TestRouteTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale routing timing skipped in short mode")
+	}
+	spec := Table1(42)[3]
+	e, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	fw := e.Framework
+	provs := routing.CapabilityProviders(fw.Capabilities())
+	const reqs = 50
+	var tMesh, tHier, tFull time.Duration
+	for i := 0; i < reqs; i++ {
+		req, err := e.NextRequest()
+		if err != nil {
+			t.Fatalf("NextRequest: %v", err)
+		}
+		s := time.Now()
+		if _, err := routing.FindPath(req, provs, routing.OracleFunc(e.Mesh.Dist), routing.ExpanderFunc(e.Mesh.Path)); err != nil {
+			t.Fatalf("mesh route: %v", err)
+		}
+		tMesh += time.Since(s)
+		s = time.Now()
+		if _, err := fw.Route(req); err != nil {
+			t.Fatalf("hierarchical route: %v", err)
+		}
+		tHier += time.Since(s)
+		s = time.Now()
+		m := routing.HFCMetric{T: fw.Topology()}
+		if _, err := routing.FindPath(req, provs, m, m); err != nil {
+			t.Fatalf("hfc-full route: %v", err)
+		}
+		tFull += time.Since(s)
+	}
+	t.Logf("per-request: mesh=%v hier=%v hfc-full=%v", tMesh/reqs, tHier/reqs, tFull/reqs)
+	for name, d := range map[string]time.Duration{"mesh": tMesh, "hier": tHier, "hfc-full": tFull} {
+		if d/reqs > 100*time.Millisecond {
+			t.Errorf("%s routing too slow: %v per request", name, d/reqs)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package env
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScaleTiming exercises the four full Table 1 builds; skipped in -short
+// runs because the 1000-proxy build takes a few seconds.
+func TestScaleTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale builds skipped in short mode")
+	}
+	for _, spec := range Table1(42) {
+		start := time.Now()
+		e, err := Build(spec)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", spec.Proxies, err)
+		}
+		if e.Framework.N() != spec.Proxies {
+			t.Errorf("overlay size = %d, want %d", e.Framework.N(), spec.Proxies)
+		}
+		k := e.Framework.NumClusters()
+		if k < 5 || k > spec.Proxies/2 {
+			t.Errorf("suspicious cluster count %d for %d proxies", k, spec.Proxies)
+		}
+		t.Logf("proxies=%d phys=%d clusters=%d borders=%d elapsed=%v",
+			spec.Proxies, spec.PhysicalNodes, k,
+			len(e.Framework.Topology().BorderNodes()), time.Since(start))
+	}
+}

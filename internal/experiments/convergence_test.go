@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hfc/internal/env"
+)
+
+func TestRunConvergence(t *testing.T) {
+	spec := env.SmallSpec(501)
+	spec.Proxies = 40
+	rows, err := RunConvergence(spec, []float64{0, 0.3}, 3, 40)
+	if err != nil {
+		t.Fatalf("RunConvergence: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	lossless, lossy := rows[0], rows[1]
+	// Without loss the protocol converges in exactly 2 rounds.
+	if lossless.MeanRounds != 2 || lossless.Unconverged != 0 || lossless.DroppedPerTrial != 0 {
+		t.Errorf("lossless row = %+v, want 2 rounds, 0 drops", lossless)
+	}
+	// With loss it takes at least as long and drops something.
+	if lossy.MeanRounds < lossless.MeanRounds {
+		t.Errorf("lossy mean rounds %v below lossless %v", lossy.MeanRounds, lossless.MeanRounds)
+	}
+	if lossy.DroppedPerTrial == 0 {
+		t.Error("no drops recorded at rate 0.3")
+	}
+	if !strings.Contains(FormatConvergence(rows), "resilience") {
+		t.Error("FormatConvergence missing header")
+	}
+}
+
+func TestRunConvergenceValidation(t *testing.T) {
+	spec := env.SmallSpec(1)
+	if _, err := RunConvergence(spec, nil, 1, 5); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := RunConvergence(spec, []float64{0}, 0, 5); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunConvergence(spec, []float64{0}, 1, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}

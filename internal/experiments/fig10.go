@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"hfc/internal/env"
+	"hfc/internal/routing"
+	"hfc/internal/stats"
+)
+
+// Fig10Row is one overlay size of Figure 10: average service path length
+// (true network delay) of the three schemes over the same request stream.
+type Fig10Row struct {
+	// Proxies is the overlay size.
+	Proxies int
+	// MeshAvg is the single-level mesh baseline (global state, optimal
+	// flat routing over mesh relays).
+	MeshAvg float64
+	// HFCAggAvg is the paper's framework: HFC topology with state
+	// aggregation, hierarchical divide-and-conquer routing.
+	HFCAggAvg float64
+	// HFCFullAvg is HFC without aggregation: same topology, full global
+	// state, optimal flat routing.
+	HFCFullAvg float64
+	// MeshRelays and HFCRelays are mean relay (no-service) hops per path.
+	MeshRelays, HFCAggRelays float64
+	// Requests and Trials record the sample size.
+	Requests, Trials int
+}
+
+// RunFig10 reproduces Figure 10: for each environment, run `requests`
+// random client requests through the mesh baseline, hierarchical HFC, and
+// HFC without aggregation, and average the resulting concrete path lengths
+// measured in true network delay. Every scheme routes the same request
+// stream in the same environment.
+func RunFig10(specs []env.Spec, trials, requests int) ([]Fig10Row, error) {
+	if trials < 1 || requests < 1 {
+		return nil, errors.New("experiments: trials and requests must be >= 1")
+	}
+	rows := make([]Fig10Row, 0, len(specs))
+	for _, spec := range specs {
+		row := Fig10Row{Proxies: spec.Proxies, Requests: requests, Trials: trials}
+		var meshAll, aggAll, fullAll, meshRelays, aggRelays []float64
+		for trial := 0; trial < trials; trial++ {
+			s := spec
+			s.Seed = spec.Seed + int64(trial)*7919
+			e, err := env.Build(s)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig10 size %d trial %d: %w", spec.Proxies, trial, err)
+			}
+			fw := e.Framework
+			provs := routing.CapabilityProviders(fw.Capabilities())
+			hfcMetric := routing.HFCMetric{T: fw.Topology()}
+			meshOracle := routing.OracleFunc(e.Mesh.Dist)
+			meshExp := routing.ExpanderFunc(e.Mesh.Path)
+
+			for i := 0; i < requests; i++ {
+				req, err := e.NextRequest()
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig10 request: %w", err)
+				}
+				meshPath, err := routing.FindPath(req, provs, meshOracle, meshExp)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig10 mesh route: %w", err)
+				}
+				aggPath, err := fw.Route(req)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig10 hierarchical route: %w", err)
+				}
+				fullPath, err := routing.FindPath(req, provs, hfcMetric, hfcMetric)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig10 hfc-full route: %w", err)
+				}
+				meshAll = append(meshAll, meshPath.Length(e.TrueDist))
+				aggAll = append(aggAll, aggPath.Length(e.TrueDist))
+				fullAll = append(fullAll, fullPath.Length(e.TrueDist))
+				meshRelays = append(meshRelays, float64(meshPath.NumRelays()))
+				aggRelays = append(aggRelays, float64(aggPath.NumRelays()))
+			}
+		}
+		row.MeshAvg = stats.Mean(meshAll)
+		row.HFCAggAvg = stats.Mean(aggAll)
+		row.HFCFullAvg = stats.Mean(fullAll)
+		row.MeshRelays = stats.Mean(meshRelays)
+		row.HFCAggRelays = stats.Mean(aggRelays)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig10 renders Figure 10 as a text table.
+func FormatFig10(rows []Fig10Row) string {
+	out := "Figure 10: average service path length (true network delay, ms)\n"
+	out += fmt.Sprintf("%-10s %12s %16s %16s %12s %12s\n",
+		"proxies", "mesh", "HFC w/ agg", "HFC w/o agg", "mesh relays", "HFC relays")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10d %12.1f %16.1f %16.1f %12.2f %12.2f\n",
+			r.Proxies, r.MeshAvg, r.HFCAggAvg, r.HFCFullAvg, r.MeshRelays, r.HFCAggRelays)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hfc/internal/coords"
+	"hfc/internal/netsim"
+	"hfc/internal/stats"
+	"hfc/internal/topology"
+)
+
+// LandmarkRow is one placement strategy of the landmark ablation (A8).
+type LandmarkRow struct {
+	Strategy       string
+	MedianRelError float64
+	P90RelError    float64
+	// MinPairSpread is the smallest true distance between any two chosen
+	// landmarks (higher = better spread).
+	MinPairSpread float64
+}
+
+// RunAblationLandmarks compares landmark placement strategies — uniform
+// random vs greedy farthest-point — by the relative error of the resulting
+// GNP embedding over the same proxy population (the placement question Ng &
+// Zhang's GNP paper studies), averaged over `trials` independent draws.
+func RunAblationLandmarks(seed int64, physSize, proxies, k, errSamples, trials int) ([]LandmarkRow, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 landmarks, got %d", k)
+	}
+	if proxies < 2 || errSamples < 1 || trials < 1 {
+		return nil, errors.New("experiments: invalid proxy, sample, or trial count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cfg, err := topology.ConfigForSize(physSize)
+	if err != nil {
+		return nil, err
+	}
+	phys, err := topology.GenerateTransitStub(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	net, err := netsim.New(phys)
+	if err != nil {
+		return nil, err
+	}
+	stubs := phys.StubNodes()
+	if len(stubs) < proxies+k {
+		return nil, fmt.Errorf("experiments: %d stub nodes for %d proxies + %d landmarks", len(stubs), proxies, k)
+	}
+	// Fixed proxy population; landmark strategies draw from the remainder.
+	perm := rng.Perm(len(stubs))
+	proxyIDs := make([]int, proxies)
+	for i := range proxyIDs {
+		proxyIDs[i] = stubs[perm[i]]
+	}
+	pool := make([]int, 0, len(stubs)-proxies)
+	for _, idx := range perm[proxies:] {
+		pool = append(pool, stubs[idx])
+	}
+
+	strategies := []struct {
+		name   string
+		choose func(*rand.Rand) ([]int, error)
+	}{
+		{"random", func(r *rand.Rand) ([]int, error) {
+			return coords.SelectLandmarksRandom(r, pool, k)
+		}},
+		{"farthest-point", func(r *rand.Rand) ([]int, error) {
+			return coords.SelectLandmarksFarthestPoint(r, net, pool, k, 3)
+		}},
+	}
+	rows := make([]LandmarkRow, 0, len(strategies))
+	for i, s := range strategies {
+		var medians, p90s, spreads []float64
+		for trial := 0; trial < trials; trial++ {
+			srng := rand.New(rand.NewSource(seed + int64(i)*31 + int64(trial)*7919))
+			landmarks, err := s.choose(srng)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: landmarks %s: %w", s.name, err)
+			}
+			cmap, _, err := coords.BuildMap(srng, net, landmarks, proxyIDs, 2, 5)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: landmarks %s: %w", s.name, err)
+			}
+			var errs []float64
+			for len(errs) < errSamples {
+				u, v := srng.Intn(proxies), srng.Intn(proxies)
+				if u == v {
+					continue
+				}
+				pred := cmap.Dist(u, v)
+				actual := net.Latency(proxyIDs[u], proxyIDs[v])
+				errs = append(errs, coords.RelativeError(pred, actual))
+			}
+			spread := -1.0
+			for a := 0; a < len(landmarks); a++ {
+				for b := a + 1; b < len(landmarks); b++ {
+					d := net.Latency(landmarks[a], landmarks[b])
+					if spread < 0 || d < spread {
+						spread = d
+					}
+				}
+			}
+			medians = append(medians, stats.Median(errs))
+			p90s = append(p90s, stats.Percentile(errs, 90))
+			spreads = append(spreads, spread)
+		}
+		rows = append(rows, LandmarkRow{
+			Strategy:       s.name,
+			MedianRelError: stats.Mean(medians),
+			P90RelError:    stats.Mean(p90s),
+			MinPairSpread:  stats.Mean(spreads),
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblationLandmarks renders the A8 table.
+func FormatAblationLandmarks(rows []LandmarkRow) string {
+	out := "Ablation A8: landmark placement strategy (GNP embedding quality)\n"
+	out += fmt.Sprintf("%-16s %14s %14s %16s\n", "strategy", "median relerr", "p90 relerr", "min pair spread")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-16s %14.3f %14.3f %16.1f\n", r.Strategy, r.MedianRelError, r.P90RelError, r.MinPairSpread)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblationLandmarks(t *testing.T) {
+	rows, err := RunAblationLandmarks(42, 300, 60, 8, 300, 2)
+	if err != nil {
+		t.Fatalf("RunAblationLandmarks: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	byName := map[string]LandmarkRow{}
+	for _, r := range rows {
+		if r.MedianRelError <= 0 || r.MedianRelError > 1.5 {
+			t.Errorf("%s: implausible median error %v", r.Strategy, r.MedianRelError)
+		}
+		byName[r.Strategy] = r
+	}
+	// The defining property of farthest-point selection: better spread.
+	if byName["farthest-point"].MinPairSpread <= byName["random"].MinPairSpread {
+		t.Errorf("farthest-point spread %v not above random %v",
+			byName["farthest-point"].MinPairSpread, byName["random"].MinPairSpread)
+	}
+	if !strings.Contains(FormatAblationLandmarks(rows), "A8") {
+		t.Error("FormatAblationLandmarks missing header")
+	}
+}
+
+func TestRunAblationLandmarksValidation(t *testing.T) {
+	if _, err := RunAblationLandmarks(1, 300, 60, 1, 100, 1); err == nil {
+		t.Error("k < 2 accepted")
+	}
+	if _, err := RunAblationLandmarks(1, 300, 1, 8, 100, 1); err == nil {
+		t.Error("single proxy accepted")
+	}
+	if _, err := RunAblationLandmarks(1, 300, 60, 8, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := RunAblationLandmarks(1, 300, 60, 8, 100, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunAblationLandmarks(1, 300, 280, 40, 100, 1); err == nil {
+		t.Error("pool exhaustion accepted")
+	}
+}

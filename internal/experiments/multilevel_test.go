@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunMultiLevel(t *testing.T) {
+	rows, err := RunMultiLevel(smallSpecs(), 25)
+	if err != nil {
+		t.Fatalf("RunMultiLevel: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Groups < 1 {
+			t.Errorf("size %d: %d groups", r.Proxies, r.Groups)
+		}
+		// Tri-level never stores MORE state than bi-level.
+		if r.TriCoordStates > r.BiCoordStates+1e-9 {
+			t.Errorf("size %d: tri coord state %v above bi %v", r.Proxies, r.TriCoordStates, r.BiCoordStates)
+		}
+		// With more than one group, service state strictly drops; with a
+		// single group the schemes coincide up to the extra super entry.
+		if r.Groups > 1 && r.TriSvcStates >= r.BiSvcStates {
+			t.Errorf("size %d: tri svc state %v not below bi %v", r.Proxies, r.TriSvcStates, r.BiSvcStates)
+		}
+		if r.Groups == 1 && math.Abs(r.TriPathAvg-r.BiPathAvg) > 1e-9 {
+			t.Errorf("size %d: single group but paths differ: %v vs %v", r.Proxies, r.TriPathAvg, r.BiPathAvg)
+		}
+		if r.BiPathAvg <= 0 || r.TriPathAvg <= 0 {
+			t.Errorf("size %d: non-positive path lengths", r.Proxies)
+		}
+	}
+	if !strings.Contains(FormatMultiLevel(rows), "tri-level") {
+		t.Error("FormatMultiLevel missing header")
+	}
+}
+
+func TestRunMultiLevelValidation(t *testing.T) {
+	if _, err := RunMultiLevel(smallSpecs(), 0); err == nil {
+		t.Error("zero requests accepted")
+	}
+}

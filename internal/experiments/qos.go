@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hfc/internal/env"
+	"hfc/internal/qos"
+	"hfc/internal/routing"
+	"hfc/internal/stats"
+	"hfc/internal/svc"
+)
+
+// QoSRow is one constraint setting of the QoS extension experiment: flat
+// full-state QoS routing vs hierarchical QoS routing over aggregates, on
+// the same request stream.
+type QoSRow struct {
+	// MinBandwidth and MaxLoad are the request constraints.
+	MinBandwidth, MaxLoad float64
+	// FlatSuccess is the fraction of requests flat full-state QoS routing
+	// admits; OptSuccess and PessSuccess the hierarchical fractions under
+	// the optimistic and pessimistic admission policies.
+	FlatSuccess, OptSuccess, PessSuccess float64
+	// OptFalseBlocked and PessFalseBlocked are the fractions flat admits
+	// but the respective hierarchical policy blocks — the
+	// aggregation-precision cost.
+	OptFalseBlocked, PessFalseBlocked float64
+	// FlatAvgLen and OptAvgLen are mean true-delay path lengths over the
+	// requests both flat and the optimistic router admitted.
+	FlatAvgLen, OptAvgLen float64
+	// Requests is the sample size.
+	Requests int
+}
+
+// RunQoS sweeps constraint tightness on one environment and compares flat
+// QoS routing (full per-node state) against hierarchical QoS routing
+// (per-cluster aggregates). Both respect the HFC topology, so the deltas
+// isolate the effect of QoS aggregation.
+func RunQoS(spec env.Spec, settings []qos.Constraints, requests int) ([]QoSRow, error) {
+	if len(settings) == 0 {
+		return nil, errors.New("experiments: empty constraint sweep")
+	}
+	if requests < 1 {
+		return nil, errors.New("experiments: need at least 1 request")
+	}
+	e, err := env.Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: qos: %w", err)
+	}
+	prof, err := e.QoSProfile(rand.New(rand.NewSource(spec.Seed+99)), 0, 0.95)
+	if err != nil {
+		return nil, err
+	}
+	fw := e.Framework
+	topo := fw.Topology()
+	caps := fw.Capabilities()
+	provs := routing.CapabilityProviders(caps)
+	metric := routing.HFCMetric{T: topo}
+	optRouter, err := qos.NewRouter(topo, fw.States(), caps, prof)
+	if err != nil {
+		return nil, err
+	}
+	pessRouter, err := qos.NewRouter(topo, fw.States(), caps, prof)
+	if err != nil {
+		return nil, err
+	}
+	pessRouter.Policy = qos.PolicyPessimistic
+
+	reqs := make([]svc.Request, requests)
+	for i := range reqs {
+		r, err := e.NextRequest()
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = r
+	}
+
+	rows := make([]QoSRow, 0, len(settings))
+	for _, cons := range settings {
+		row := QoSRow{MinBandwidth: cons.MinBandwidth, MaxLoad: cons.MaxLoad, Requests: requests}
+		var flatOK, optOK, pessOK, optBlocked, pessBlocked int
+		var flatLens, optLens []float64
+		for _, req := range reqs {
+			flatPath, flatErr := qos.FindPath(req, provs, metric, prof, cons, metric)
+			optPath, optErr := optRouter.Route(req, cons)
+			_, pessErr := pessRouter.Route(req, cons)
+			if flatErr == nil {
+				flatOK++
+				if err := qos.VerifyPath(flatPath, prof, cons); err != nil {
+					return nil, fmt.Errorf("experiments: qos: flat path violates constraints: %w", err)
+				}
+			}
+			if optErr == nil {
+				optOK++
+				if err := qos.VerifyPath(optPath, prof, cons); err != nil {
+					return nil, fmt.Errorf("experiments: qos: hierarchical path violates constraints: %w", err)
+				}
+			}
+			if pessErr == nil {
+				pessOK++
+			}
+			if flatErr == nil && optErr != nil {
+				optBlocked++
+			}
+			if flatErr == nil && pessErr != nil {
+				pessBlocked++
+			}
+			if flatErr == nil && optErr == nil {
+				flatLens = append(flatLens, flatPath.Length(e.TrueDist))
+				optLens = append(optLens, optPath.Length(e.TrueDist))
+			}
+		}
+		row.FlatSuccess = float64(flatOK) / float64(requests)
+		row.OptSuccess = float64(optOK) / float64(requests)
+		row.PessSuccess = float64(pessOK) / float64(requests)
+		row.OptFalseBlocked = float64(optBlocked) / float64(requests)
+		row.PessFalseBlocked = float64(pessBlocked) / float64(requests)
+		row.FlatAvgLen = stats.Mean(flatLens)
+		row.OptAvgLen = stats.Mean(optLens)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DefaultQoSSettings returns the constraint sweep used by cmd/experiments:
+// bandwidth demands climbing through the stub/access capacity classes,
+// crossed with a moderate load ceiling.
+func DefaultQoSSettings() []qos.Constraints {
+	return []qos.Constraints{
+		{MinBandwidth: 0, MaxLoad: 0},
+		{MinBandwidth: 0, MaxLoad: 0.5},
+		{MinBandwidth: 10, MaxLoad: 0.5},
+		{MinBandwidth: 25, MaxLoad: 0.5},
+		{MinBandwidth: 40, MaxLoad: 0.5},
+		{MinBandwidth: 60, MaxLoad: 0.5},
+		{MinBandwidth: 25, MaxLoad: 0.25},
+	}
+}
+
+// FormatQoS renders the QoS experiment table.
+func FormatQoS(rows []QoSRow) string {
+	out := "QoS extension (§7): flat full-state vs hierarchical aggregated QoS routing\n"
+	out += fmt.Sprintf("%-7s %-8s %10s %10s %10s %11s %11s %9s %9s\n",
+		"minBW", "maxLoad", "flat", "hier-opt", "hier-pess", "opt-blockd", "pess-blockd", "flat len", "opt len")
+	for _, r := range rows {
+		maxLoad := r.MaxLoad
+		if maxLoad == 0 {
+			maxLoad = 1
+		}
+		out += fmt.Sprintf("%-7.0f %-8.2f %9.1f%% %9.1f%% %9.1f%% %10.1f%% %10.1f%% %9.1f %9.1f\n",
+			r.MinBandwidth, maxLoad, r.FlatSuccess*100, r.OptSuccess*100, r.PessSuccess*100,
+			r.OptFalseBlocked*100, r.PessFalseBlocked*100, r.FlatAvgLen, r.OptAvgLen)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hfc/internal/env"
+	"hfc/internal/qos"
+)
+
+func TestRunQoS(t *testing.T) {
+	spec := env.SmallSpec(401)
+	rows, err := RunQoS(spec, DefaultQoSSettings(), 60)
+	if err != nil {
+		t.Fatalf("RunQoS: %v", err)
+	}
+	if len(rows) != len(DefaultQoSSettings()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Success rates are probabilities.
+		for _, v := range []float64{r.FlatSuccess, r.OptSuccess, r.PessSuccess, r.OptFalseBlocked, r.PessFalseBlocked} {
+			if v < 0 || v > 1 {
+				t.Fatalf("rate %v out of [0,1] in %+v", v, r)
+			}
+		}
+		// Hierarchical can never admit more than flat (flat has full
+		// state and the same topology constraint), and pessimistic can
+		// never admit more than optimistic.
+		if r.OptSuccess > r.FlatSuccess+1e-9 {
+			t.Errorf("optimistic success %v above flat %v", r.OptSuccess, r.FlatSuccess)
+		}
+		if r.PessSuccess > r.OptSuccess+1e-9 {
+			t.Errorf("pessimistic success %v above optimistic %v", r.PessSuccess, r.OptSuccess)
+		}
+		// Flat's delay-optimal feasible path is a lower bound.
+		if r.OptAvgLen != 0 && r.FlatAvgLen > r.OptAvgLen+1e-9 {
+			t.Errorf("flat avg %v above hierarchical %v", r.FlatAvgLen, r.OptAvgLen)
+		}
+	}
+	// The unconstrained row must admit everything everywhere.
+	if rows[0].FlatSuccess != 1 || rows[0].OptSuccess != 1 || rows[0].PessSuccess != 1 {
+		t.Errorf("unconstrained row not fully admitted: %+v", rows[0])
+	}
+	if !strings.Contains(FormatQoS(rows), "QoS extension") {
+		t.Error("FormatQoS missing header")
+	}
+}
+
+func TestRunQoSValidation(t *testing.T) {
+	spec := env.SmallSpec(1)
+	if _, err := RunQoS(spec, nil, 5); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := RunQoS(spec, []qos.Constraints{{}}, 0); err == nil {
+		t.Error("zero requests accepted")
+	}
+}

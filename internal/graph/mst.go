@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrDisconnected is returned by spanning-tree construction when the input
+// graph (or point set) does not form a single connected component.
+var ErrDisconnected = errors.New("graph: graph is disconnected")
+
+// UnionFind is a disjoint-set forest with union by rank and path compression.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets {0}, {1}, …, {n-1}.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), rank: make([]int, n), sets: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already in the same set).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// MSTKruskal computes a minimum spanning tree of an undirected graph with
+// Kruskal's algorithm. It returns ErrDisconnected (wrapped) when the graph
+// has more than one component.
+func (g *Graph) MSTKruskal() ([]Edge, error) {
+	if g.directed {
+		return nil, errors.New("graph: minimum spanning tree requires an undirected graph")
+	}
+	if g.n == 0 {
+		return nil, errors.New("graph: minimum spanning tree of empty graph")
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight < edges[j].Weight
+		}
+		// Deterministic tie-break so repeated runs yield the same tree.
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	uf := NewUnionFind(g.n)
+	tree := make([]Edge, 0, g.n-1)
+	for _, e := range edges {
+		if uf.Union(e.From, e.To) {
+			tree = append(tree, e)
+			if len(tree) == g.n-1 {
+				break
+			}
+		}
+	}
+	if len(tree) != g.n-1 {
+		return nil, fmt.Errorf("graph: kruskal found %d components: %w", uf.Sets(), ErrDisconnected)
+	}
+	return tree, nil
+}
+
+// mstItem is a priority-queue entry for Prim.
+type mstItem struct {
+	v    int
+	from int
+	w    float64
+}
+
+type mstQueue []mstItem
+
+func (q mstQueue) Len() int            { return len(q) }
+func (q mstQueue) Less(i, j int) bool  { return q[i].w < q[j].w }
+func (q mstQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *mstQueue) Push(x interface{}) { *q = append(*q, x.(mstItem)) }
+func (q *mstQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// MSTPrim computes a minimum spanning tree with Prim's algorithm starting
+// from vertex 0. It returns ErrDisconnected (wrapped) when the graph has
+// more than one component.
+func (g *Graph) MSTPrim() ([]Edge, error) {
+	if g.directed {
+		return nil, errors.New("graph: minimum spanning tree requires an undirected graph")
+	}
+	if g.n == 0 {
+		return nil, errors.New("graph: minimum spanning tree of empty graph")
+	}
+	inTree := make([]bool, g.n)
+	pq := &mstQueue{{v: 0, from: -1, w: 0}}
+	tree := make([]Edge, 0, g.n-1)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(mstItem)
+		if inTree[it.v] {
+			continue
+		}
+		inTree[it.v] = true
+		if it.from != -1 {
+			tree = append(tree, Edge{From: it.from, To: it.v, Weight: it.w})
+		}
+		for _, e := range g.adj[it.v] {
+			if !inTree[e.to] {
+				heap.Push(pq, mstItem{v: e.to, from: it.v, w: e.w})
+			}
+		}
+	}
+	if len(tree) != g.n-1 {
+		return nil, fmt.Errorf("graph: prim reached %d of %d vertices: %w", len(tree)+1, g.n, ErrDisconnected)
+	}
+	return tree, nil
+}
+
+// EuclideanMST computes the minimum spanning tree of a complete graph over
+// points whose pairwise distances are given by dist. It uses the dense
+// O(n²) Prim variant, which is optimal for complete graphs, and returns the
+// n-1 tree edges. dist must be symmetric and non-negative.
+func EuclideanMST(n int, dist func(i, j int) float64) ([]Edge, error) {
+	if n <= 0 {
+		return nil, errors.New("graph: euclidean mst of empty point set")
+	}
+	const unseen = -1
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range best {
+		best[i] = dist(0, i)
+		bestFrom[i] = 0
+	}
+	inTree[0] = true
+	tree := make([]Edge, 0, n-1)
+	for iter := 1; iter < n; iter++ {
+		next := unseen
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (next == unseen || best[v] < best[next]) {
+				next = v
+			}
+		}
+		if next == unseen {
+			return nil, ErrDisconnected
+		}
+		inTree[next] = true
+		tree = append(tree, Edge{From: bestFrom[next], To: next, Weight: best[next]})
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := dist(next, v); d < best[v] {
+					best[v] = d
+					bestFrom[v] = next
+				}
+			}
+		}
+	}
+	return tree, nil
+}

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets() = %d, want 5", uf.Sets())
+	}
+	if !uf.Union(0, 1) {
+		t.Error("Union(0,1) = false on disjoint sets")
+	}
+	if uf.Union(1, 0) {
+		t.Error("Union(1,0) = true on already-merged sets")
+	}
+	if uf.Find(0) != uf.Find(1) {
+		t.Error("Find(0) != Find(1) after union")
+	}
+	if uf.Sets() != 4 {
+		t.Errorf("Sets() = %d after one union, want 4", uf.Sets())
+	}
+}
+
+func TestUnionFindTransitivityProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		uf := NewUnionFind(n)
+		naive := make([]int, n) // naive labels, relabel on union
+		for i := range naive {
+			naive[i] = i
+		}
+		for op := 0; op < 3*n; op++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			uf.Union(a, b)
+			la, lb := naive[a], naive[b]
+			if la != lb {
+				for i := range naive {
+					if naive[i] == lb {
+						naive[i] = la
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (uf.Find(i) == uf.Find(j)) != (naive[i] == naive[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func treeWeight(edges []Edge) float64 {
+	sum := 0.0
+	for _, e := range edges {
+		sum += e.Weight
+	}
+	return sum
+}
+
+// assertSpanningTree verifies that edges form a spanning tree of an n-vertex
+// graph: exactly n-1 edges, acyclic, connecting all vertices.
+func assertSpanningTree(t *testing.T, n int, edges []Edge) {
+	t.Helper()
+	if len(edges) != n-1 {
+		t.Fatalf("tree has %d edges, want %d", len(edges), n-1)
+	}
+	uf := NewUnionFind(n)
+	for _, e := range edges {
+		if !uf.Union(e.From, e.To) {
+			t.Fatalf("edge (%d,%d) creates a cycle", e.From, e.To)
+		}
+	}
+	if uf.Sets() != 1 {
+		t.Fatalf("tree leaves %d components, want 1", uf.Sets())
+	}
+}
+
+func TestMSTKruskalAndPrimAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomConnectedGraph(rng, n, n)
+		k, err := g.MSTKruskal()
+		if err != nil {
+			t.Fatalf("trial %d: kruskal: %v", trial, err)
+		}
+		p, err := g.MSTPrim()
+		if err != nil {
+			t.Fatalf("trial %d: prim: %v", trial, err)
+		}
+		assertSpanningTree(t, n, k)
+		assertSpanningTree(t, n, p)
+		// With random float weights, MST weight is unique with prob. 1.
+		if math.Abs(treeWeight(k)-treeWeight(p)) > 1e-9 {
+			t.Fatalf("trial %d: kruskal weight %v != prim weight %v", trial, treeWeight(k), treeWeight(p))
+		}
+	}
+}
+
+func TestMSTKnownAnswer(t *testing.T) {
+	// Classic 4-cycle with one diagonal.
+	g := New(4, false)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 2)
+	mustAdd(t, g, 2, 3, 3)
+	mustAdd(t, g, 3, 0, 4)
+	mustAdd(t, g, 0, 2, 5)
+	tree, err := g.MSTKruskal()
+	if err != nil {
+		t.Fatalf("kruskal: %v", err)
+	}
+	if w := treeWeight(tree); w != 6 {
+		t.Errorf("MST weight = %v, want 6", w)
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	g := New(4, false)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 2, 3, 1)
+	if _, err := g.MSTKruskal(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("kruskal error = %v, want ErrDisconnected", err)
+	}
+	if _, err := g.MSTPrim(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("prim error = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestMSTRejectsDirected(t *testing.T) {
+	g := New(2, true)
+	mustAdd(t, g, 0, 1, 1)
+	if _, err := g.MSTKruskal(); err == nil {
+		t.Error("kruskal on directed graph succeeded")
+	}
+	if _, err := g.MSTPrim(); err == nil {
+		t.Error("prim on directed graph succeeded")
+	}
+}
+
+func TestMSTEmptyGraph(t *testing.T) {
+	g := New(0, false)
+	if _, err := g.MSTKruskal(); err == nil {
+		t.Error("kruskal on empty graph succeeded")
+	}
+	if _, err := g.MSTPrim(); err == nil {
+		t.Error("prim on empty graph succeeded")
+	}
+}
+
+func TestMSTSingleVertex(t *testing.T) {
+	g := New(1, false)
+	tree, err := g.MSTKruskal()
+	if err != nil {
+		t.Fatalf("kruskal: %v", err)
+	}
+	if len(tree) != 0 {
+		t.Errorf("single-vertex MST has %d edges, want 0", len(tree))
+	}
+}
+
+func TestEuclideanMSTMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		pts := make([][2]float64, n)
+		for i := range pts {
+			pts[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		dist := func(i, j int) float64 {
+			dx := pts[i][0] - pts[j][0]
+			dy := pts[i][1] - pts[j][1]
+			return math.Hypot(dx, dy)
+		}
+		tree, err := EuclideanMST(n, dist)
+		if err != nil {
+			t.Fatalf("trial %d: EuclideanMST: %v", trial, err)
+		}
+		assertSpanningTree(t, n, tree)
+		// Cross-check weight against Kruskal on the explicit complete graph.
+		g := New(n, false)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				mustAdd(t, g, i, j, dist(i, j))
+			}
+		}
+		want, err := g.MSTKruskal()
+		if err != nil {
+			t.Fatalf("trial %d: kruskal: %v", trial, err)
+		}
+		if math.Abs(treeWeight(tree)-treeWeight(want)) > 1e-9 {
+			t.Fatalf("trial %d: euclidean MST weight %v != kruskal %v", trial, treeWeight(tree), treeWeight(want))
+		}
+	}
+}
+
+func TestEuclideanMSTEmpty(t *testing.T) {
+	if _, err := EuclideanMST(0, func(i, j int) float64 { return 0 }); err == nil {
+		t.Error("EuclideanMST(0) succeeded")
+	}
+}
+
+func TestEuclideanMSTCutProperty(t *testing.T) {
+	// MST cut property: for every tree edge, removing it splits the vertices
+	// into two sides, and the edge must be a minimum-weight crossing edge.
+	rng := rand.New(rand.NewSource(23))
+	n := 25
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(pts[i][0]-pts[j][0], pts[i][1]-pts[j][1])
+	}
+	tree, err := EuclideanMST(n, dist)
+	if err != nil {
+		t.Fatalf("EuclideanMST: %v", err)
+	}
+	for cut := range tree {
+		uf := NewUnionFind(n)
+		for i, e := range tree {
+			if i != cut {
+				uf.Union(e.From, e.To)
+			}
+		}
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if uf.Find(i) != uf.Find(j) {
+					if d := dist(i, j); d < best {
+						best = d
+					}
+				}
+			}
+		}
+		if tree[cut].Weight > best+1e-9 {
+			t.Fatalf("tree edge %v weight %v exceeds min cut weight %v", tree[cut], tree[cut].Weight, best)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoPath is returned when no path exists between the requested endpoints.
+var ErrNoPath = errors.New("graph: no path between endpoints")
+
+// PathResult holds single-source shortest-path output. Dist[v] is +Inf and
+// Parent[v] is -1 for unreachable vertices; Parent[source] is -1.
+type PathResult struct {
+	Source int
+	Dist   []float64
+	Parent []int
+}
+
+// PathTo reconstructs the vertex sequence from the result's source to v.
+// It returns ErrNoPath if v is unreachable.
+func (r *PathResult) PathTo(v int) ([]int, error) {
+	if v < 0 || v >= len(r.Dist) {
+		return nil, fmt.Errorf("graph: vertex %d out of range [0,%d)", v, len(r.Dist))
+	}
+	if math.IsInf(r.Dist[v], 1) {
+		return nil, fmt.Errorf("graph: vertex %d unreachable from %d: %w", v, r.Source, ErrNoPath)
+	}
+	var rev []int
+	for u := v; u != -1; u = r.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes shortest paths from source to every vertex using a
+// binary heap (lazy deletion). It returns an error if source is out of range.
+func (g *Graph) Dijkstra(source int) (*PathResult, error) {
+	if source < 0 || source >= g.n {
+		return nil, fmt.Errorf("graph: source %d out of range [0,%d)", source, g.n)
+	}
+	dist := make([]float64, g.n)
+	parent := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[source] = 0
+	pq := &priorityQueue{{v: source, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		for _, e := range g.adj[it.v] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				parent[e.to] = it.v
+				heap.Push(pq, pqItem{v: e.to, dist: nd})
+			}
+		}
+	}
+	return &PathResult{Source: source, Dist: dist, Parent: parent}, nil
+}
+
+// APSP holds an all-pairs shortest-path distance matrix.
+type APSP struct {
+	n    int
+	dist [][]float64
+}
+
+// AllPairsShortestPaths runs Dijkstra from every vertex and collects the
+// distance matrix. For the graph sizes in this simulator (≤ a few thousand
+// vertices) this is faster in practice than Floyd–Warshall on sparse graphs.
+func (g *Graph) AllPairsShortestPaths() (*APSP, error) {
+	dist := make([][]float64, g.n)
+	for s := 0; s < g.n; s++ {
+		r, err := g.Dijkstra(s)
+		if err != nil {
+			return nil, fmt.Errorf("graph: apsp from %d: %w", s, err)
+		}
+		dist[s] = r.Dist
+	}
+	return &APSP{n: g.n, dist: dist}, nil
+}
+
+// N returns the number of vertices the matrix covers.
+func (m *APSP) N() int { return m.n }
+
+// Symmetrize forces Dist(u,v) == Dist(v,u) by taking the minimum of the two
+// directions. On undirected graphs the two values can differ by a few ULPs
+// because Dijkstra accumulates edge weights in different orders; callers
+// that treat distances as a metric (clustering, MST) need exact symmetry.
+func (m *APSP) Symmetrize() {
+	for u := 0; u < m.n; u++ {
+		for v := u + 1; v < m.n; v++ {
+			d := m.dist[u][v]
+			if m.dist[v][u] < d {
+				d = m.dist[v][u]
+			}
+			m.dist[u][v] = d
+			m.dist[v][u] = d
+		}
+	}
+}
+
+// Dist returns the shortest-path distance from u to v (+Inf if unreachable).
+func (m *APSP) Dist(u, v int) float64 { return m.dist[u][v] }
+
+// TopoSort returns a topological ordering of a directed graph, or an error
+// if the graph is undirected or contains a cycle.
+func (g *Graph) TopoSort() ([]int, error) {
+	if !g.directed {
+		return nil, errors.New("graph: topological sort requires a directed graph")
+	}
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.adj[u] {
+			indeg[e.to]++
+		}
+	}
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, e := range g.adj[u] {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, errors.New("graph: cycle detected during topological sort")
+	}
+	return order, nil
+}
+
+// DAGShortestPaths computes shortest paths from source in a directed acyclic
+// graph by relaxing edges in topological order. It is the classical
+// algorithm the paper applies on top of service DAGs.
+func (g *Graph) DAGShortestPaths(source int) (*PathResult, error) {
+	if source < 0 || source >= g.n {
+		return nil, fmt.Errorf("graph: source %d out of range [0,%d)", source, g.n)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]float64, g.n)
+	parent := make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[source] = 0
+	for _, u := range order {
+		if math.IsInf(dist[u], 1) {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if nd := dist[u] + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				parent[e.to] = u
+			}
+		}
+	}
+	return &PathResult{Source: source, Dist: dist, Parent: parent}, nil
+}

@@ -1,0 +1,56 @@
+package hfc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the HFC topology as a Graphviz graph: one subgraph
+// cluster per overlay cluster with its members laid out by their embedded
+// coordinates, border proxies emphasized, and the external border links
+// drawn between clusters with their lengths. Feed the output to
+// `dot -Kneato -n -Tsvg` to reproduce diagrams in the style of the paper's
+// Figure 1.
+func (t *Topology) WriteDOT(w io.Writer) error {
+	if t == nil {
+		return errors.New("hfc: nil topology")
+	}
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, format, args...)
+	}
+	p("graph hfc {\n")
+	p("  layout=neato;\n  overlap=false;\n  node [shape=circle, fontsize=8, width=0.25, fixedsize=true];\n")
+	for c := 0; c < t.NumClusters(); c++ {
+		p("  subgraph cluster_%d {\n", c)
+		p("    label=\"C%d\";\n    color=gray;\n", c)
+		for _, m := range t.Members(c) {
+			style := ""
+			if t.IsBorder(m) {
+				style = ", style=filled, fillcolor=lightgray"
+			}
+			pt := t.coords.Points[m]
+			x, y := pt[0], 0.0
+			if len(pt) > 1 {
+				y = pt[1]
+			}
+			p("    n%d [pos=\"%.2f,%.2f!\"%s];\n", m, x, y, style)
+		}
+		p("  }\n")
+	}
+	for a := 0; a < t.NumClusters(); a++ {
+		for b := a + 1; b < t.NumClusters(); b++ {
+			u, v, berr := t.Border(a, b)
+			if berr != nil {
+				return berr
+			}
+			p("  n%d -- n%d [style=dashed, label=\"%.1f\", fontsize=7];\n", u, v, t.Dist(u, v))
+		}
+	}
+	p("}\n")
+	return err
+}

@@ -1,0 +1,154 @@
+package hfc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+)
+
+func selectorFixtureMap(t *testing.T) (*coords.Map, *cluster.Result) {
+	t.Helper()
+	pts := []coords.Point{
+		{0, 0}, {5, 0}, {2, 4},
+		{100, 0}, {95, 0}, {98, 5},
+		{0, 100}, {0, 95}, {5, 98},
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	return cmap, manualClustering([]int{0, 0, 0, 1, 1, 1, 2, 2, 2})
+}
+
+func TestBuildWithSelectorValidation(t *testing.T) {
+	cmap, clustering := selectorFixtureMap(t)
+	if _, err := BuildWithSelector(cmap, clustering, nil); err == nil {
+		t.Error("nil selector accepted")
+	}
+	if _, err := BuildWithSelector(nil, clustering, ClosestPairSelector()); err == nil {
+		t.Error("nil map accepted")
+	}
+	if _, err := BuildWithSelector(cmap, nil, ClosestPairSelector()); err == nil {
+		t.Error("nil clustering accepted")
+	}
+	short := manualClustering([]int{0, 0})
+	if _, err := BuildWithSelector(cmap, short, ClosestPairSelector()); err == nil {
+		t.Error("size-mismatched clustering accepted")
+	}
+	// A selector returning nodes outside the requested clusters must be
+	// rejected.
+	liar := func(cmap *coords.Map, a, b []int) (BorderPair, error) {
+		return BorderPair{Low: a[0], High: a[0]}, nil
+	}
+	if _, err := BuildWithSelector(cmap, clustering, liar); err == nil {
+		t.Error("out-of-cluster selector output accepted")
+	}
+}
+
+func TestRandomPairSelectorStaysInClusters(t *testing.T) {
+	cmap, clustering := selectorFixtureMap(t)
+	topo, err := BuildWithSelector(cmap, clustering, RandomPairSelector(rand.New(rand.NewSource(3))))
+	if err != nil {
+		t.Fatalf("BuildWithSelector: %v", err)
+	}
+	for a := 0; a < topo.NumClusters(); a++ {
+		for b := 0; b < topo.NumClusters(); b++ {
+			if a == b {
+				continue
+			}
+			u, v, err := topo.Border(a, b)
+			if err != nil {
+				t.Fatalf("Border: %v", err)
+			}
+			if topo.ClusterOf(u) != a || topo.ClusterOf(v) != b {
+				t.Errorf("random border (%d,%d) outside clusters (%d,%d)", u, v, a, b)
+			}
+		}
+	}
+}
+
+func TestHeadSelectorUsesOneHeadPerCluster(t *testing.T) {
+	cmap, clustering := selectorFixtureMap(t)
+	topo, err := BuildWithSelector(cmap, clustering, HeadSelector())
+	if err != nil {
+		t.Fatalf("BuildWithSelector: %v", err)
+	}
+	// Every cluster's border toward all other clusters is the same node —
+	// the single-logical-node representation.
+	for c := 0; c < topo.NumClusters(); c++ {
+		borders := topo.BorderNodesOf(c)
+		if len(borders) != 1 {
+			t.Errorf("cluster %d has %d border nodes under HeadSelector, want 1", c, len(borders))
+		}
+	}
+	// The head is the member closest to the centroid.
+	members := topo.Members(0)
+	centroid := coords.Point{0, 0}
+	for _, m := range members {
+		centroid[0] += cmap.Points[m][0] / float64(len(members))
+		centroid[1] += cmap.Points[m][1] / float64(len(members))
+	}
+	bestD := math.Inf(1)
+	best := -1
+	for _, m := range members {
+		if d := coords.Dist(cmap.Points[m], centroid); d < bestD {
+			bestD, best = d, m
+		}
+	}
+	if got := topo.BorderNodesOf(0)[0]; got != best {
+		t.Errorf("head of cluster 0 = %d, want centroid-closest %d", got, best)
+	}
+}
+
+func TestSelectorsOnEmptyCluster(t *testing.T) {
+	cmap, err := coords.NewMap([]coords.Point{{0, 0}})
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	for _, sel := range []BorderSelector{
+		ClosestPairSelector(),
+		RandomPairSelector(rand.New(rand.NewSource(1))),
+		HeadSelector(),
+	} {
+		if _, err := sel(cmap, nil, []int{0}); err == nil {
+			t.Error("selector accepted empty cluster")
+		}
+	}
+}
+
+func TestConstrainedDistMatchesHopPath(t *testing.T) {
+	cmap, clustering := selectorFixtureMap(t)
+	topo, err := Build(cmap, clustering)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for u := 0; u < topo.N(); u++ {
+		for v := 0; v < topo.N(); v++ {
+			path, err := topo.OverlayHopPath(u, v)
+			if err != nil {
+				t.Fatalf("OverlayHopPath: %v", err)
+			}
+			want := topo.PathLength(path)
+			if got := topo.ConstrainedDist(u, v); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("ConstrainedDist(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestExternalLinkLengthErrors(t *testing.T) {
+	cmap, clustering := selectorFixtureMap(t)
+	topo, err := Build(cmap, clustering)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := topo.ExternalLinkLength(1, 1); err == nil {
+		t.Error("same-cluster external link accepted")
+	}
+	if _, err := topo.ExternalLinkLength(-1, 1); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+}

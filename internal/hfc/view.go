@@ -1,0 +1,111 @@
+package hfc
+
+import (
+	"fmt"
+	"sort"
+
+	"hfc/internal/coords"
+)
+
+// NodeView is the partial-global-state a single proxy holds after the
+// election-winner proxy P distributes the topology (Fig. 4): its own
+// cluster's ID and membership, the system's cluster/border table, and the
+// coordinates of exactly the nodes it is entitled to know — its own cluster
+// members plus every border proxy in the system. Hierarchical routing at a
+// node must work from this view alone; the experiments count its size to
+// reproduce Fig. 9(a).
+type NodeView struct {
+	// Node is the proxy this view belongs to.
+	Node int
+	// ClusterID is the proxy's own cluster.
+	ClusterID int
+	// Members is the sorted membership of the proxy's cluster (including
+	// the proxy itself).
+	Members []int
+	// NumClusters is the number of clusters in the system.
+	NumClusters int
+	// Borders maps every normalized cluster pair {lo, hi} to its border
+	// pair.
+	Borders map[[2]int]BorderPair
+	// Coords holds the coordinates the node keeps: own cluster members
+	// and all border proxies.
+	Coords map[int]coords.Point
+}
+
+// View materializes the Fig. 4 information for one node.
+func (t *Topology) View(node int) (*NodeView, error) {
+	if node < 0 || node >= t.N() {
+		return nil, fmt.Errorf("hfc: view for node %d out of range [0,%d)", node, t.N())
+	}
+	c := t.ClusterOf(node)
+	v := &NodeView{
+		Node:        node,
+		ClusterID:   c,
+		Members:     append([]int(nil), t.Members(c)...),
+		NumClusters: t.NumClusters(),
+		Borders:     make(map[[2]int]BorderPair, len(t.borders)),
+		Coords:      make(map[int]coords.Point),
+	}
+	for k, pair := range t.borders {
+		v.Borders[k] = pair
+	}
+	for _, m := range v.Members {
+		v.Coords[m] = t.coords.Points[m].Clone()
+	}
+	for _, b := range t.borderNodes {
+		v.Coords[b] = t.coords.Points[b].Clone()
+	}
+	return v, nil
+}
+
+// Dist returns the embedded distance between two nodes whose coordinates
+// the view holds. It returns an error when the view lacks either node —
+// i.e., when routing code oversteps the node's legitimate knowledge.
+func (v *NodeView) Dist(u, w int) (float64, error) {
+	pu, ok := v.Coords[u]
+	if !ok {
+		return 0, fmt.Errorf("hfc: node %d's view has no coordinates for node %d", v.Node, u)
+	}
+	pw, ok := v.Coords[w]
+	if !ok {
+		return 0, fmt.Errorf("hfc: node %d's view has no coordinates for node %d", v.Node, w)
+	}
+	return coords.Dist(pu, pw), nil
+}
+
+// Border returns the border pair between two distinct clusters, oriented
+// (inA, inB).
+func (v *NodeView) Border(a, b int) (inA, inB int, err error) {
+	if a == b {
+		return 0, 0, fmt.Errorf("hfc: no border pair within a single cluster %d", a)
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	pair, ok := v.Borders[[2]int{lo, hi}]
+	if !ok {
+		return 0, 0, fmt.Errorf("hfc: view has no border pair for clusters (%d,%d)", a, b)
+	}
+	if a == lo {
+		return pair.Low, pair.High, nil
+	}
+	return pair.High, pair.Low, nil
+}
+
+// CoordinateStateSize is the number of coordinate node-states the view
+// stores — the quantity Fig. 9(a) reports per proxy. Own-cluster members
+// and border proxies are deduplicated, since a node needs only one
+// coordinate record per known node.
+func (v *NodeView) CoordinateStateSize() int { return len(v.Coords) }
+
+// KnownNodes returns the sorted IDs of all nodes whose coordinates the view
+// holds.
+func (v *NodeView) KnownNodes() []int {
+	out := make([]int, 0, len(v.Coords))
+	for id := range v.Coords {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hfc/internal/coords"
+)
+
+func randomMap(t *testing.T, rng *rand.Rand, n int) *coords.Map {
+	t.Helper()
+	pts := make([]coords.Point, n)
+	for i := range pts {
+		pts[i] = coords.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	m, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	return m
+}
+
+func TestBuildConnectedAndDegreeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cmap := randomMap(t, rng, 80)
+	m, err := Build(rng, cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !m.Graph.Connected() {
+		t.Fatal("mesh disconnected")
+	}
+	if m.N() != 80 {
+		t.Errorf("N = %d, want 80", m.N())
+	}
+	// With 1-4 near + 1-2 far per node, average degree lands in [2, 12].
+	if d := m.AvgDegree(); d < 2 || d > 12 {
+		t.Errorf("AvgDegree = %v outside sane range", d)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cmap := randomMap(t, rng, 10)
+	if _, err := Build(nil, cmap, DefaultConfig()); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := Build(rng, nil, DefaultConfig()); err == nil {
+		t.Error("nil map accepted")
+	}
+	bad := DefaultConfig()
+	bad.MinNear = 0
+	if _, err := Build(rng, cmap, bad); err == nil {
+		t.Error("MinNear=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.MaxNear = 10
+	if _, err := Build(rng, cmap, bad); err == nil {
+		t.Error("MaxNear >= n accepted")
+	}
+	bad = DefaultConfig()
+	bad.MinFar = -1
+	if _, err := Build(rng, cmap, bad); err == nil {
+		t.Error("negative MinFar accepted")
+	}
+	bad = DefaultConfig()
+	bad.MaxFar = 0
+	if _, err := Build(rng, cmap, bad); err == nil {
+		t.Error("MaxFar < MinFar accepted")
+	}
+	two := randomMap(t, rng, 2)
+	cfg := Config{MinNear: 1, MaxNear: 1, MinFar: 0, MaxFar: 0}
+	if _, err := Build(rng, two, cfg); err != nil {
+		t.Errorf("2-node mesh rejected: %v", err)
+	}
+}
+
+func TestDistMatchesPathLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cmap := randomMap(t, rng, 40)
+	m, err := Build(rng, cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		u, v := rng.Intn(40), rng.Intn(40)
+		path, err := m.Path(u, v)
+		if err != nil {
+			t.Fatalf("Path(%d,%d): %v", u, v, err)
+		}
+		if path[0] != u || path[len(path)-1] != v {
+			t.Fatalf("Path(%d,%d) endpoints wrong: %v", u, v, path)
+		}
+		sum := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			sum += cmap.Dist(path[i], path[i+1])
+		}
+		if diff := sum - m.Dist(u, v); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("Path length %v != Dist %v", sum, m.Dist(u, v))
+		}
+	}
+}
+
+func TestMeshDistAtLeastDirect(t *testing.T) {
+	// Mesh shortest-path distance can never beat the direct embedded
+	// distance (triangle inequality in Euclidean space).
+	rng := rand.New(rand.NewSource(3))
+	cmap := randomMap(t, rng, 50)
+	m, err := Build(rng, cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	check := func(a, b uint8) bool {
+		u, v := int(a)%50, int(b)%50
+		return m.Dist(u, v) >= cmap.Dist(u, v)-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cmapRng := rand.New(rand.NewSource(4))
+	cmap := randomMap(t, cmapRng, 30)
+	a, err := Build(rand.New(rand.NewSource(9)), cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := Build(rand.New(rand.NewSource(9)), cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestBuildRepairsDisconnectedDraw(t *testing.T) {
+	// Two tight distant clumps with MinNear too small to bridge them and no
+	// far links: the repair pass must connect the components.
+	rng := rand.New(rand.NewSource(7))
+	var pts []coords.Point
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 10; i++ {
+			pts = append(pts, coords.Point{float64(c)*100000 + rng.Float64(), rng.Float64()})
+		}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	cfg := Config{MinNear: 1, MaxNear: 2, MinFar: 0, MaxFar: 0}
+	m, err := Build(rng, cmap, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !m.Graph.Connected() {
+		t.Fatal("repair pass left the mesh disconnected")
+	}
+	// The bridge must be the closest cross pair: both clumps span < 1 unit,
+	// so exactly one very long edge exists.
+	long := 0
+	for _, e := range m.Graph.Edges() {
+		if e.Weight > 50000 {
+			long++
+		}
+	}
+	if long != 1 {
+		t.Errorf("expected exactly 1 bridge edge, found %d", long)
+	}
+}
+
+func TestPathErrorsOnCorruptRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cmap := randomMap(t, rng, 10)
+	m, err := Build(rng, cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := m.Path(0, 0); err != nil {
+		t.Errorf("self path errored: %v", err)
+	}
+	// Out-of-range endpoints surface as errors from the route tables.
+	defer func() {
+		if recover() != nil {
+			t.Log("out-of-range path panicked (acceptable contract)")
+		}
+	}()
+	if p, err := m.Path(0, 9); err != nil || len(p) < 1 {
+		t.Errorf("Path(0,9) = %v, %v", p, err)
+	}
+}

@@ -1,0 +1,347 @@
+package mlhfc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/hfc"
+	"hfc/internal/routing"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// triWorld generates a three-scale point set: `groups` regions far apart,
+// each containing `blobs` clusters of `per` nodes.
+func triWorld(t *testing.T, rng *rand.Rand, groups, blobs, per int) *coords.Map {
+	t.Helper()
+	var pts []coords.Point
+	for g := 0; g < groups; g++ {
+		gx := float64(g%3) * 5000
+		gy := float64(g/3) * 5000
+		for b := 0; b < blobs; b++ {
+			bx := gx + float64(b%2)*400
+			by := gy + float64(b/2)*400
+			for i := 0; i < per; i++ {
+				pts = append(pts, coords.Point{bx + rng.Float64()*40, by + rng.Float64()*40})
+			}
+		}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	return cmap
+}
+
+func buildTri(t *testing.T, seed int64) (*Topology, []svc.CapabilitySet, *States) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cmap := triWorld(t, rng, 3, 3, 6)
+	topo, err := Build(cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cat, err := svc.NewCatalog(15)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	caps, err := svc.RandomCapabilities(rng, cmap.N(), cat, 2, 5)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	states, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	return topo, caps, states
+}
+
+func TestBuildDetectsThreeScales(t *testing.T) {
+	topo, _, _ := buildTri(t, 1)
+	if topo.NumGroups() != 3 {
+		t.Fatalf("groups = %d, want 3", topo.NumGroups())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Each group's interior should have detected multiple clusters.
+	for g := 0; g < topo.NumGroups(); g++ {
+		if k := topo.Interior(g).NumClusters(); k < 2 {
+			t.Errorf("group %d has %d inner clusters, want >= 2", g, k)
+		}
+	}
+}
+
+func TestIndexTranslationRoundTrip(t *testing.T) {
+	topo, _, _ := buildTri(t, 2)
+	for node := 0; node < topo.N(); node++ {
+		g := topo.GroupOf(node)
+		if got := topo.ToGlobal(g, topo.ToLocal(node)); got != node {
+			t.Fatalf("node %d round-trips to %d", node, got)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, DefaultConfig()); err == nil {
+		t.Error("nil map accepted")
+	}
+	cmap, err := coords.NewMap([]coords.Point{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	if _, err := BuildFromGrouping(cmap, nil, cluster.DefaultConfig()); err == nil {
+		t.Error("nil grouping accepted")
+	}
+	if _, err := BuildFromGrouping(cmap, &cluster.Result{Assignment: []int{0}, Clusters: [][]int{{0}}}, cluster.DefaultConfig()); err == nil {
+		t.Error("size-mismatched grouping accepted")
+	}
+}
+
+func TestDistributeAndVerify(t *testing.T) {
+	topo, caps, states := buildTri(t, 3)
+	if err := Verify(topo, caps, states); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if states.Messages.Total() == 0 {
+		t.Error("no protocol traffic recorded")
+	}
+	// Corruption detection.
+	states.Super[0].Add("bogus")
+	if err := Verify(topo, caps, states); err == nil {
+		t.Error("corrupted super-aggregate passed verification")
+	}
+}
+
+func TestDistributeValidation(t *testing.T) {
+	topo, caps, _ := buildTri(t, 4)
+	if _, err := Distribute(nil, caps); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := Distribute(topo, caps[:2]); err == nil {
+		t.Error("short caps accepted")
+	}
+}
+
+func TestRouteProducesValidPaths(t *testing.T) {
+	topo, caps, states := buildTri(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 5)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		res, err := Route(topo, states, req)
+		if err != nil {
+			t.Fatalf("request %d: Route: %v", i, err)
+		}
+		if err := res.Path.Validate(req, caps); err != nil {
+			t.Fatalf("request %d: invalid path %v: %v", i, res.Path, err)
+		}
+		if len(res.GSP) != req.SG.Len() {
+			t.Fatalf("request %d: GSP covers %d of %d services", i, len(res.GSP), req.SG.Len())
+		}
+	}
+}
+
+func TestRouteMissingService(t *testing.T) {
+	topo, _, states := buildTri(t, 7)
+	sg, err := svc.Linear("nowhere")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	if _, err := Route(topo, states, svc.Request{Source: 0, Dest: 1, SG: sg}); err == nil {
+		t.Error("undeployed service routed")
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	topo, _, states := buildTri(t, 8)
+	sg, err := svc.Linear("s0")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	if _, err := Route(nil, states, svc.Request{Source: 0, Dest: 1, SG: sg}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := Route(topo, nil, svc.Request{Source: 0, Dest: 1, SG: sg}); err == nil {
+		t.Error("nil states accepted")
+	}
+	if _, err := Route(topo, states, svc.Request{Source: -1, Dest: 1, SG: sg}); err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestStateSizesBelowBiLevel(t *testing.T) {
+	// The whole point of the third level: per-node state below the
+	// bi-level scheme on the same overlay.
+	rng := rand.New(rand.NewSource(9))
+	cmap := triWorld(t, rng, 4, 4, 8)
+	tri, err := Build(cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Bi-level over the same coordinates.
+	flatClustering, err := cluster.Cluster(cmap.N(), cmap.Dist, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	bi, err := hfc.Build(cmap, flatClustering)
+	if err != nil {
+		t.Fatalf("hfc.Build: %v", err)
+	}
+	var triCoord, biCoord, triSvcTotal, biSvcTotal int
+	for node := 0; node < cmap.N(); node++ {
+		tc, err := tri.CoordinateStateSize(node)
+		if err != nil {
+			t.Fatalf("CoordinateStateSize: %v", err)
+		}
+		view, err := bi.View(node)
+		if err != nil {
+			t.Fatalf("View: %v", err)
+		}
+		triCoord += tc
+		biCoord += view.CoordinateStateSize()
+		triSvcTotal += tri.ServiceStateSize(node)
+		biSvcTotal += len(bi.Members(bi.ClusterOf(node))) + bi.NumClusters()
+	}
+	t.Logf("coord states: tri %.1f vs bi %.1f per node; svc states: tri %.1f vs bi %.1f",
+		float64(triCoord)/float64(cmap.N()), float64(biCoord)/float64(cmap.N()),
+		float64(triSvcTotal)/float64(cmap.N()), float64(biSvcTotal)/float64(cmap.N()))
+	if triSvcTotal >= biSvcTotal {
+		t.Errorf("tri-level service state %d not below bi-level %d", triSvcTotal, biSvcTotal)
+	}
+	if triCoord >= biCoord {
+		t.Errorf("tri-level coordinate state %d not below bi-level %d", triCoord, biCoord)
+	}
+}
+
+func TestTriNeverBeatsUnconstrainedOptimumProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cmap := triWorld(t, rng, 3, 2, 5)
+		topo, err := Build(cmap, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		cat, err := svc.NewCatalog(10)
+		if err != nil {
+			return false
+		}
+		caps, err := svc.RandomCapabilities(rng, cmap.N(), cat, 2, 4)
+		if err != nil {
+			return false
+		}
+		states, err := Distribute(topo, caps)
+		if err != nil {
+			return false
+		}
+		gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			req, err := gen.Next()
+			if err != nil {
+				return false
+			}
+			res, err := Route(topo, states, req)
+			if err != nil {
+				return false
+			}
+			if err := res.Path.Validate(req, caps); err != nil {
+				return false
+			}
+			flat, err := routing.FindPath(req, routing.CapabilityProviders(caps), routing.OracleFunc(cmap.Dist), nil)
+			if err != nil {
+				return false
+			}
+			if res.Path.Length(cmap.Dist) < flat.DecisionCost-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleGroupDegeneratesToBiLevel(t *testing.T) {
+	// Force one group: the tri-level route must equal the bi-level route.
+	rng := rand.New(rand.NewSource(11))
+	var pts []coords.Point
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 6; i++ {
+			pts = append(pts, coords.Point{float64(b)*400 + rng.Float64()*40, rng.Float64() * 40})
+		}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	grouping := &cluster.Result{Assignment: make([]int, len(pts)), Clusters: [][]int{allOf(len(pts))}}
+	topo, err := BuildFromGrouping(cmap, grouping, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatalf("BuildFromGrouping: %v", err)
+	}
+	cat, err := svc.NewCatalog(10)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	caps, err := svc.RandomCapabilities(rng, len(pts), cat, 2, 4)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	states, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	// Bi-level reference over the same inner clustering.
+	inner := topo.Interior(0)
+	biStates, _, err := state.Distribute(inner, caps)
+	if err != nil {
+		t.Fatalf("state.Distribute: %v", err)
+	}
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		triRes, err := Route(topo, states, req)
+		if err != nil {
+			t.Fatalf("tri Route: %v", err)
+		}
+		biPath, err := routing.RouteHierarchical(inner, biStates, req, routing.RelaxBacktrack)
+		if err != nil {
+			t.Fatalf("bi Route: %v", err)
+		}
+		if len(triRes.Path.Hops) != len(biPath.Hops) {
+			t.Fatalf("request %d: tri %v != bi %v", i, triRes.Path, biPath)
+		}
+		for h := range biPath.Hops {
+			if triRes.Path.Hops[h] != biPath.Hops[h] {
+				t.Fatalf("request %d hop %d: tri %v != bi %v", i, h, triRes.Path, biPath)
+			}
+		}
+	}
+}
+
+func allOf(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

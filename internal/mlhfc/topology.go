@@ -1,0 +1,350 @@
+// Package mlhfc generalizes the paper's bi-level HFC topology to three
+// levels — the scaling direction the paper's "bi-level HFC hierarchy"
+// phrasing implies. Overlay nodes are first grouped coarsely
+// (super-clusters); each group internally runs the complete bi-level HFC
+// construction (MST clustering + closest-pair borders); groups are fully
+// connected pairwise through super-border node pairs. Any two nodes are at
+// most 4 overlay hops apart, and per-node state drops from
+// |cluster| + #clusters (bi-level) to |cluster| + #clusters-in-own-group +
+// #groups.
+//
+// The implementation deliberately reuses the bi-level machinery: each
+// group's interior IS an hfc.Topology over group-local indices, and
+// per-group child requests are resolved by the §5 hierarchical router
+// unchanged. This package adds the third tier: super-aggregates, the
+// group-level path search, and the extra divide step.
+package mlhfc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/graph"
+	"hfc/internal/hfc"
+)
+
+// Config selects the two clustering granularities.
+type Config struct {
+	// Top configures the grouping of cluster CENTROIDS into
+	// super-clusters — "clustering the clusters". Default: the library
+	// default MST settings with the global-median criterion.
+	Top cluster.Config
+	// Inner configures the fine per-node clustering whose clusters become
+	// the interior bi-level clusters. Default: the library default.
+	Inner cluster.Config
+	// TargetGroups, when > 1, overrides Top's detection with a fixed
+	// fan-out: the longest centroid-MST edges are cut until exactly this
+	// many groups remain (bounded by the fine-cluster count). Overlay
+	// embeddings often lack a crisp second distance scale, so operators
+	// pick the hierarchy fan-out — √(#clusters) balances the levels.
+	TargetGroups int
+}
+
+// DefaultConfig returns the granularities used by the experiments: the
+// library default for the fine pass, and the global-median criterion for
+// the (small) centroid set, where local neighbourhood averages are
+// unreliable.
+func DefaultConfig() Config {
+	top := cluster.DefaultConfig()
+	top.Criterion = cluster.CriterionGlobalMedian
+	return Config{Top: top, Inner: cluster.DefaultConfig()}
+}
+
+// Topology is a constructed tri-level HFC overlay.
+type Topology struct {
+	cmap *coords.Map
+	// groupOf maps a global node index to its group.
+	groupOf []int
+	// groups maps a group ID to its sorted global node indices; the slice
+	// index of a node within its group is its group-local index.
+	groups [][]int
+	// local maps a global node to its group-local index.
+	local []int
+	// perGroup holds each group's interior bi-level HFC topology over
+	// group-local indices.
+	perGroup []*hfc.Topology
+	// superBorder[a][b] is the global node of group a closest to group b
+	// (-1 on the diagonal) — the super-border pair mirrors §3.3 one level
+	// up.
+	superBorder [][]int
+}
+
+// Build constructs the tri-level topology from embedded coordinates: a
+// fine per-node clustering first, then a second Zahn pass over the fine
+// clusters' centroids to form groups (every fine cluster lands wholly in
+// one group), then the interior HFC per group reusing the fine clusters.
+func Build(cmap *coords.Map, cfg Config) (*Topology, error) {
+	if cmap == nil {
+		return nil, errors.New("mlhfc: nil coordinate map")
+	}
+	fine, err := cluster.Cluster(cmap.N(), cmap.Dist, cfg.Inner)
+	if err != nil {
+		return nil, fmt.Errorf("mlhfc: fine clustering: %w", err)
+	}
+	// Centroids of the fine clusters.
+	dim := cmap.Dim
+	centroids := make([]coords.Point, fine.NumClusters())
+	for c, members := range fine.Clusters {
+		centroid := make(coords.Point, dim)
+		for _, m := range members {
+			for d := 0; d < dim; d++ {
+				centroid[d] += cmap.Points[m][d] / float64(len(members))
+			}
+		}
+		centroids[c] = centroid
+	}
+	centroidDist := func(i, j int) float64 { return coords.Dist(centroids[i], centroids[j]) }
+	var clusterGroup []int
+	if cfg.TargetGroups > 1 {
+		clusterGroup, err = cutToTarget(len(centroids), centroidDist, cfg.TargetGroups)
+		if err != nil {
+			return nil, fmt.Errorf("mlhfc: centroid grouping: %w", err)
+		}
+	} else {
+		top, err := cluster.Cluster(len(centroids), centroidDist, cfg.Top)
+		if err != nil {
+			return nil, fmt.Errorf("mlhfc: centroid grouping: %w", err)
+		}
+		clusterGroup = top.Assignment
+	}
+	// Node's group = group of its fine cluster.
+	assignment := make([]int, cmap.N())
+	for node, c := range fine.Assignment {
+		assignment[node] = clusterGroup[c]
+	}
+	grouping := groupingFromAssignment(assignment)
+	return BuildFromGrouping(cmap, grouping, cfg.Inner)
+}
+
+// cutToTarget removes the longest MST edges over the n points until exactly
+// min(target, n) components remain, returning the component assignment.
+func cutToTarget(n int, dist func(i, j int) float64, target int) ([]int, error) {
+	mst, err := graph.EuclideanMST(n, dist)
+	if err != nil {
+		return nil, err
+	}
+	if target > n {
+		target = n
+	}
+	sort.Slice(mst, func(a, b int) bool { return mst[a].Weight < mst[b].Weight })
+	uf := graph.NewUnionFind(n)
+	// Keep the n-target shortest edges; cutting the target-1 longest ones
+	// leaves exactly target components.
+	for _, e := range mst[:n-target] {
+		uf.Union(e.From, e.To)
+	}
+	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = uf.Find(i)
+	}
+	return assignment, nil
+}
+
+// groupingFromAssignment densifies an assignment vector.
+func groupingFromAssignment(assignment []int) *cluster.Result {
+	remap := make(map[int]int)
+	var clusters [][]int
+	dense := make([]int, len(assignment))
+	for node, c := range assignment {
+		id, ok := remap[c]
+		if !ok {
+			id = len(clusters)
+			remap[c] = id
+			clusters = append(clusters, nil)
+		}
+		dense[node] = id
+		clusters[id] = append(clusters[id], node)
+	}
+	return &cluster.Result{Assignment: dense, Clusters: clusters}
+}
+
+// BuildFromGrouping constructs the tri-level topology from an explicit
+// top-level grouping (used by tests and by callers with their own grouping
+// policy).
+func BuildFromGrouping(cmap *coords.Map, grouping *cluster.Result, inner cluster.Config) (*Topology, error) {
+	if cmap == nil {
+		return nil, errors.New("mlhfc: nil coordinate map")
+	}
+	if grouping == nil {
+		return nil, errors.New("mlhfc: nil grouping")
+	}
+	if len(grouping.Assignment) != cmap.N() {
+		return nil, fmt.Errorf("mlhfc: grouping covers %d nodes but map has %d", len(grouping.Assignment), cmap.N())
+	}
+	t := &Topology{
+		cmap:    cmap,
+		groupOf: append([]int(nil), grouping.Assignment...),
+		groups:  make([][]int, grouping.NumClusters()),
+		local:   make([]int, cmap.N()),
+	}
+	for g, members := range grouping.Clusters {
+		t.groups[g] = append([]int(nil), members...)
+		sort.Ints(t.groups[g])
+		for li, node := range t.groups[g] {
+			t.local[node] = li
+		}
+	}
+
+	// Interior bi-level HFC per group.
+	t.perGroup = make([]*hfc.Topology, len(t.groups))
+	for g, members := range t.groups {
+		pts := make([]coords.Point, len(members))
+		for li, node := range members {
+			pts[li] = cmap.Points[node].Clone()
+		}
+		sub, err := coords.NewMap(pts)
+		if err != nil {
+			return nil, fmt.Errorf("mlhfc: group %d map: %w", g, err)
+		}
+		clustering, err := cluster.Cluster(sub.N(), sub.Dist, inner)
+		if err != nil {
+			return nil, fmt.Errorf("mlhfc: group %d clustering: %w", g, err)
+		}
+		topo, err := hfc.Build(sub, clustering)
+		if err != nil {
+			return nil, fmt.Errorf("mlhfc: group %d hfc: %w", g, err)
+		}
+		t.perGroup[g] = topo
+	}
+
+	// Super-border pairs: closest cross pair per group pair.
+	k := len(t.groups)
+	t.superBorder = make([][]int, k)
+	for a := range t.superBorder {
+		t.superBorder[a] = make([]int, k)
+		for b := range t.superBorder[a] {
+			t.superBorder[a][b] = -1
+		}
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			bestA, bestB, bestD := -1, -1, 0.0
+			for _, u := range t.groups[a] {
+				for _, v := range t.groups[b] {
+					d := cmap.Dist(u, v)
+					if bestA == -1 || d < bestD {
+						bestA, bestB, bestD = u, v, d
+					}
+				}
+			}
+			t.superBorder[a][b] = bestA
+			t.superBorder[b][a] = bestB
+		}
+	}
+	return t, nil
+}
+
+// N returns the number of overlay nodes.
+func (t *Topology) N() int { return t.cmap.N() }
+
+// NumGroups returns the number of super-clusters.
+func (t *Topology) NumGroups() int { return len(t.groups) }
+
+// GroupOf returns the group of a global node.
+func (t *Topology) GroupOf(node int) int { return t.groupOf[node] }
+
+// Members returns a group's global node list (sorted; shared slice).
+func (t *Topology) Members(g int) []int { return t.groups[g] }
+
+// Interior returns group g's bi-level HFC topology (group-local indices).
+func (t *Topology) Interior(g int) *hfc.Topology { return t.perGroup[g] }
+
+// ToLocal translates a global node index to its group-local index.
+func (t *Topology) ToLocal(node int) int { return t.local[node] }
+
+// ToGlobal translates a group-local index back to the global node index.
+func (t *Topology) ToGlobal(g, localIdx int) int { return t.groups[g][localIdx] }
+
+// SuperBorder returns the super-border pair between two distinct groups,
+// oriented (inA, inB), as global node indices.
+func (t *Topology) SuperBorder(a, b int) (inA, inB int, err error) {
+	if a == b {
+		return 0, 0, fmt.Errorf("mlhfc: no super-border within group %d", a)
+	}
+	if a < 0 || a >= len(t.groups) || b < 0 || b >= len(t.groups) {
+		return 0, 0, fmt.Errorf("mlhfc: group pair (%d,%d) out of range", a, b)
+	}
+	return t.superBorder[a][b], t.superBorder[b][a], nil
+}
+
+// Dist returns the embedded distance between two global nodes.
+func (t *Topology) Dist(u, v int) float64 { return t.cmap.Dist(u, v) }
+
+// CoordinateStateSize is the number of coordinate records node keeps under
+// the tri-level scheme: its own inner cluster's members, the border proxies
+// of its own group's interior, and every super-border node in the system
+// (deduplicated) — the tri-level analogue of Fig. 9(a).
+func (t *Topology) CoordinateStateSize(node int) (int, error) {
+	g := t.groupOf[node]
+	interior := t.perGroup[g]
+	view, err := interior.View(t.local[node])
+	if err != nil {
+		return 0, fmt.Errorf("mlhfc: %w", err)
+	}
+	known := make(map[int]bool)
+	for li := range view.Coords {
+		known[t.ToGlobal(g, li)] = true
+	}
+	for a := 0; a < len(t.groups); a++ {
+		for b := 0; b < len(t.groups); b++ {
+			if sb := t.superBorder[a][b]; sb >= 0 {
+				known[sb] = true
+			}
+		}
+	}
+	return len(known), nil
+}
+
+// ServiceStateSize is the tri-level analogue of Fig. 9(b): one entry per
+// own-inner-cluster proxy, one aggregate per cluster in the own group, and
+// one super-aggregate per group.
+func (t *Topology) ServiceStateSize(node int) int {
+	g := t.groupOf[node]
+	interior := t.perGroup[g]
+	ownCluster := interior.ClusterOf(t.local[node])
+	return len(interior.Members(ownCluster)) + interior.NumClusters() + len(t.groups)
+}
+
+// MaxOverlayHops is the tri-level reachability bound: at most two
+// super-border relays plus two inner border relays.
+const MaxOverlayHops = 5
+
+// Validate checks structural invariants across all three levels.
+func (t *Topology) Validate() error {
+	seen := make(map[int]bool, t.N())
+	for g, members := range t.groups {
+		for li, node := range members {
+			if t.groupOf[node] != g {
+				return fmt.Errorf("mlhfc: node %d listed in group %d but assigned to %d", node, g, t.groupOf[node])
+			}
+			if t.local[node] != li {
+				return fmt.Errorf("mlhfc: node %d local index %d, want %d", node, t.local[node], li)
+			}
+			if seen[node] {
+				return fmt.Errorf("mlhfc: node %d appears in multiple groups", node)
+			}
+			seen[node] = true
+		}
+		if err := t.perGroup[g].Validate(); err != nil {
+			return fmt.Errorf("mlhfc: group %d interior: %w", g, err)
+		}
+	}
+	if len(seen) != t.N() {
+		return fmt.Errorf("mlhfc: groups cover %d of %d nodes", len(seen), t.N())
+	}
+	for a := 0; a < len(t.groups); a++ {
+		for b := 0; b < len(t.groups); b++ {
+			if a == b {
+				continue
+			}
+			sb := t.superBorder[a][b]
+			if sb < 0 || t.groupOf[sb] != a {
+				return fmt.Errorf("mlhfc: super-border of (%d,%d) is %d (group %d)", a, b, sb, t.groupOf[sb])
+			}
+		}
+	}
+	return nil
+}

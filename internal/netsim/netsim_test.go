@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hfc/internal/graph"
+	"hfc/internal/topology"
+)
+
+func testTopology(t *testing.T, seed int64) *topology.Topology {
+	t.Helper()
+	topo, err := topology.GenerateTransitStub(rand.New(rand.NewSource(seed)), topology.DefaultTransitStubConfig())
+	if err != nil {
+		t.Fatalf("GenerateTransitStub: %v", err)
+	}
+	return topo
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) succeeded")
+	}
+	topo := testTopology(t, 1)
+	if _, err := New(topo, WithNoise(-0.5)); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestNewRejectsDisconnected(t *testing.T) {
+	bare := &topology.Topology{Graph: graph.New(4, false)}
+	if _, err := New(bare); err == nil {
+		t.Error("disconnected topology accepted")
+	}
+}
+
+func TestLatencyProperties(t *testing.T) {
+	topo := testTopology(t, 2)
+	net, err := New(topo)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if net.Latency(i, i) != 0 {
+			t.Errorf("Latency(%d,%d) = %v, want 0", i, i, net.Latency(i, i))
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		u, v := rng.Intn(net.N()), rng.Intn(net.N())
+		if d, rd := net.Latency(u, v), net.Latency(v, u); d != rd {
+			t.Errorf("Latency(%d,%d) = %v != Latency(%d,%d) = %v", u, v, d, v, u, rd)
+		}
+		if u != v && net.Latency(u, v) <= 0 {
+			t.Errorf("Latency(%d,%d) = %v, want > 0", u, v, net.Latency(u, v))
+		}
+	}
+}
+
+func TestLatencyPanicsOutOfRange(t *testing.T) {
+	topo := testTopology(t, 2)
+	net, err := New(topo)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Latency out of range did not panic")
+		}
+	}()
+	net.Latency(-1, 0)
+}
+
+func TestPingNoiseIsBoundedAndPositive(t *testing.T) {
+	topo := testTopology(t, 3)
+	net, err := New(topo, WithNoise(0.3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		u, v := rng.Intn(net.N()), rng.Intn(net.N())
+		truth := net.Latency(u, v)
+		p := net.Ping(rng, u, v)
+		if p < truth-1e-12 {
+			t.Fatalf("Ping(%d,%d) = %v below true latency %v", u, v, p, truth)
+		}
+		if p > truth*1.3+1e-12 {
+			t.Fatalf("Ping(%d,%d) = %v above noise bound %v", u, v, p, truth*1.3)
+		}
+	}
+}
+
+func TestPingZeroNoiseIsExact(t *testing.T) {
+	topo := testTopology(t, 3)
+	net, err := New(topo, WithNoise(0))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	u, v := 1, 50
+	if net.Ping(rng, u, v) != net.Latency(u, v) {
+		t.Error("zero-noise ping differs from latency")
+	}
+}
+
+func TestMeasureMinConvergesTowardTruth(t *testing.T) {
+	topo := testTopology(t, 5)
+	net, err := New(topo, WithNoise(0.5))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	u, v := 2, 80
+	truth := net.Latency(u, v)
+	one, err := net.MeasureMin(rng, u, v, 1)
+	if err != nil {
+		t.Fatalf("MeasureMin: %v", err)
+	}
+	many, err := net.MeasureMin(rng, u, v, 30)
+	if err != nil {
+		t.Fatalf("MeasureMin: %v", err)
+	}
+	if many > one+1e-12 {
+		// A single draw could already be near-minimal, but with 30 probes
+		// the minimum cannot exceed any single earlier probe in
+		// expectation; allow equality only.
+		t.Logf("warning: 30-probe min %v above 1-probe %v (possible but rare)", many, one)
+	}
+	if many > truth*1.1 {
+		t.Errorf("30-probe measurement %v not within 10%% of truth %v", many, truth)
+	}
+}
+
+func TestMeasureMinValidation(t *testing.T) {
+	topo := testTopology(t, 5)
+	net, err := New(topo)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := net.MeasureMin(rand.New(rand.NewSource(1)), 0, 1, 0); err == nil {
+		t.Error("MeasureMin with 0 probes succeeded")
+	}
+}
+
+func TestLatencyTriangleInequalityProperty(t *testing.T) {
+	topo := testTopology(t, 8)
+	net, err := New(topo)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	check := func(a, b, c uint16) bool {
+		n := net.N()
+		i, j, k := int(a)%n, int(b)%n, int(c)%n
+		return net.Latency(i, j) <= net.Latency(i, k)+net.Latency(k, j)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeQuadratic1D(t *testing.T) {
+	f := func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) }
+	res, err := Minimize(f, []float64{0}, Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 {
+		t.Errorf("minimum at %v, want 3", res.X[0])
+	}
+	if res.F > 1e-6 {
+		t.Errorf("F = %v, want ~0", res.F)
+	}
+}
+
+func TestMinimizeSphere5D(t *testing.T) {
+	f := func(x []float64) float64 {
+		sum := 0.0
+		for i, v := range x {
+			d := v - float64(i)
+			sum += d * d
+		}
+		return sum
+	}
+	res, err := Minimize(f, make([]float64, 5), Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-float64(i)) > 1e-3 {
+			t.Errorf("X[%d] = %v, want %d", i, v, i)
+		}
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	// The classic banana function: minimum (1,1), value 0.
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := Minimize(f, []float64{-1.2, 1}, Options{MaxIter: 20000, Restarts: 4})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("minimum at %v, want (1,1); F=%v", res.X, res.F)
+	}
+}
+
+func TestMinimizeEmptyStart(t *testing.T) {
+	if _, err := Minimize(func(x []float64) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Error("Minimize with empty start succeeded")
+	}
+}
+
+func TestMinimizeNilObjective(t *testing.T) {
+	if _, err := Minimize(nil, []float64{0}, Options{}); err == nil {
+		t.Error("Minimize with nil objective succeeded")
+	}
+}
+
+func TestMinimizeNaNStart(t *testing.T) {
+	f := func(x []float64) float64 { return math.NaN() }
+	if _, err := Minimize(f, []float64{0}, Options{}); err == nil {
+		t.Error("Minimize with NaN objective at start succeeded")
+	}
+}
+
+func TestMinimizeDoesNotMutateStart(t *testing.T) {
+	x0 := []float64{5, 5}
+	f := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
+	if _, err := Minimize(f, x0, Options{}); err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if x0[0] != 5 || x0[1] != 5 {
+		t.Errorf("starting point mutated: %v", x0)
+	}
+}
+
+func TestMinimizeReportsIterationsAndConvergence(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	res, err := Minimize(f, []float64{10}, Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if res.Iterations <= 0 {
+		t.Errorf("Iterations = %d, want > 0", res.Iterations)
+	}
+	if !res.Converged {
+		t.Error("Converged = false on trivial quadratic")
+	}
+}
+
+func TestMinimizeImprovesProperty(t *testing.T) {
+	// From any random start, the result is never worse than the start on a
+	// convex quadratic, and is essentially optimal.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(6)
+		target := make([]float64, dim)
+		for i := range target {
+			target[i] = rng.NormFloat64() * 5
+		}
+		f := func(x []float64) float64 {
+			sum := 0.0
+			for i, v := range x {
+				d := v - target[i]
+				sum += d * d
+			}
+			return sum
+		}
+		x0 := make([]float64, dim)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64() * 5
+		}
+		res, err := Minimize(f, x0, Options{})
+		if err != nil {
+			return false
+		}
+		return res.F <= f(x0)+1e-12 && res.F < 1e-4
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeMultimodalFindsGoodBasin(t *testing.T) {
+	// Rastrigin-lite in 2D: restarts should at least settle in a local
+	// minimum with value below the starting value.
+	f := func(x []float64) float64 {
+		sum := 20.0
+		for _, v := range x {
+			sum += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return sum
+	}
+	res, err := Minimize(f, []float64{3.7, -2.2}, Options{Restarts: 3})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if res.F >= f([]float64{3.7, -2.2}) {
+		t.Errorf("no improvement: F = %v", res.F)
+	}
+}

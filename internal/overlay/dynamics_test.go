@@ -1,0 +1,169 @@
+package overlay
+
+import (
+	"testing"
+
+	"hfc/internal/routing"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+func TestTrafficMatchesSynchronousModel(t *testing.T) {
+	topo, caps := buildFixture(t, 40)
+	sys := startSystem(t, topo, caps, Config{})
+	sys.TriggerStateRound()
+	sys.Quiesce()
+
+	_, want, err := state.Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	got := sys.Traffic()
+	if got.Local != want.LocalMessages {
+		t.Errorf("local messages = %d, want %d", got.Local, want.LocalMessages)
+	}
+	// The runtime counts border exchanges and forwards as one kind.
+	if got.Aggregate != want.AggregateMessages+want.ForwardMessages {
+		t.Errorf("aggregate messages = %d, want %d", got.Aggregate, want.AggregateMessages+want.ForwardMessages)
+	}
+	if got.Route != 0 || got.Child != 0 {
+		t.Errorf("unexpected request traffic: %+v", got)
+	}
+
+	// A second round doubles protocol traffic exactly (the protocol is
+	// stateless per round).
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	got2 := sys.Traffic()
+	if got2.Local != 2*want.LocalMessages {
+		t.Errorf("after 2 rounds local = %d, want %d", got2.Local, 2*want.LocalMessages)
+	}
+	if got2.Total() != 2*(want.LocalMessages+want.AggregateMessages+want.ForwardMessages) {
+		t.Errorf("after 2 rounds total = %d", got2.Total())
+	}
+}
+
+func TestRouteTrafficCounted(t *testing.T) {
+	topo, caps := buildFixture(t, 41)
+	sys := startSystem(t, topo, caps, Config{})
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	before := sys.Traffic()
+	req, err := newRequest(t, caps, 5)
+	if err != nil {
+		t.Fatalf("newRequest: %v", err)
+	}
+	if _, err := sys.Route(req); err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	after := sys.Traffic()
+	if after.Route != before.Route+1 {
+		t.Errorf("route messages %d -> %d, want +1", before.Route, after.Route)
+	}
+	if after.Child < before.Child {
+		t.Errorf("child counter went backwards")
+	}
+}
+
+func TestUpdateCapabilityPropagatesNextRound(t *testing.T) {
+	topo, caps := buildFixture(t, 42)
+	sys := startSystem(t, topo, caps, Config{})
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	if ok, err := sys.Converged(); err != nil || !ok {
+		t.Fatalf("initial convergence failed: ok=%v err=%v", ok, err)
+	}
+
+	// Install a brand-new service on node 0.
+	newSet := caps[0].Clone()
+	newSet.Add("hotpatch")
+	if err := sys.UpdateCapability(0, newSet); err != nil {
+		t.Fatalf("UpdateCapability: %v", err)
+	}
+
+	// Before the next round, peers still hold stale state.
+	cluster0 := topo.ClusterOf(0)
+	var peer int
+	found := false
+	for _, m := range topo.Members(cluster0) {
+		if m != 0 {
+			peer = m
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("node 0 is a singleton cluster")
+	}
+	st, err := sys.StateOf(peer)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if st.SCTP[0].Has("hotpatch") {
+		t.Error("peer learned the update without a protocol round")
+	}
+
+	// Two rounds: SCT_P then aggregates re-converge to the NEW truth.
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	if ok, err := sys.Converged(); err != nil || !ok {
+		t.Fatalf("post-update convergence failed: ok=%v err=%v", ok, err)
+	}
+	st, err = sys.StateOf(peer)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if !st.SCTP[0].Has("hotpatch") {
+		t.Error("peer SCT_P missing the new service after re-convergence")
+	}
+	// The new service must now be routable.
+	sg, err := svc.Linear("hotpatch")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	dest := (topo.N() - 1)
+	res, err := sys.Route(svc.Request{Source: 1, Dest: dest, SG: sg})
+	if err != nil {
+		t.Fatalf("Route for new service: %v", err)
+	}
+	if n := serviceProvider(res); n != 0 {
+		t.Errorf("hotpatch served by node %d, want 0", n)
+	}
+}
+
+func serviceProvider(res *routing.Result) int {
+	for _, h := range res.Path.Hops {
+		if h.Service != "" {
+			return h.Node
+		}
+	}
+	return -1
+}
+
+func TestUpdateCapabilityValidation(t *testing.T) {
+	topo, caps := buildFixture(t, 43)
+	sys := startSystem(t, topo, caps, Config{})
+	if err := sys.UpdateCapability(-1, svc.NewCapabilitySet("x")); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := sys.UpdateCapability(0, nil); err == nil {
+		t.Error("nil set accepted")
+	}
+}
+
+func TestCapabilitiesSnapshotIsolated(t *testing.T) {
+	topo, caps := buildFixture(t, 44)
+	sys := startSystem(t, topo, caps, Config{})
+	snap := sys.Capabilities()
+	snap[0].Add("tampered")
+	snap2 := sys.Capabilities()
+	if snap2[0].Has("tampered") {
+		t.Error("Capabilities snapshot aliases internal state")
+	}
+}

@@ -1,0 +1,162 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+
+	"hfc/internal/routing"
+	"hfc/internal/svc"
+)
+
+func convergedSystem(t *testing.T, seed int64) (*System, []svc.CapabilitySet) {
+	t.Helper()
+	topo, caps := buildFixture(t, seed)
+	sys := startSystem(t, topo, caps, Config{})
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	return sys, caps
+}
+
+func TestExecuteAppliesServicesInOrder(t *testing.T) {
+	sys, caps := convergedSystem(t, 60)
+	req, err := newRequest(t, caps, 61)
+	if err != nil {
+		t.Fatalf("newRequest: %v", err)
+	}
+	res, err := sys.Route(req)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	trace, err := sys.Execute(res.Path, "stream")
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// The data plane must apply exactly the services the control plane
+	// planned, in order.
+	want := res.Path.Services()
+	got := trace.Services()
+	if len(got) != len(want) {
+		t.Fatalf("applied %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("applied %v, want %v", got, want)
+		}
+	}
+	// The payload nests transformations innermost-first.
+	if !strings.HasSuffix(trace.Payload, "(stream)"+strings.Repeat(")", len(want)-1)) {
+		t.Errorf("payload = %q", trace.Payload)
+	}
+	// Forwards equal the number of distinct-node transitions.
+	transitions := 0
+	for i := 0; i+1 < len(res.Path.Hops); i++ {
+		if res.Path.Hops[i].Node != res.Path.Hops[i+1].Node {
+			transitions++
+		}
+	}
+	if trace.Forwards != transitions {
+		t.Errorf("forwards = %d, want %d", trace.Forwards, transitions)
+	}
+	// Traffic accounting: the injection plus each forward.
+	if sys.Traffic().Data != transitions+1 {
+		t.Errorf("data messages = %d, want %d", sys.Traffic().Data, transitions+1)
+	}
+}
+
+func TestExecuteRejectsLyingPath(t *testing.T) {
+	sys, caps := convergedSystem(t, 62)
+	// A forged path assigning a service to a proxy that lacks it.
+	victim := -1
+	for i, set := range caps {
+		if !set.Has("s0") {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		t.Skip("every proxy has s0")
+	}
+	forged := &routing.Path{Hops: []routing.Hop{
+		{Node: 0},
+		{Node: victim, Service: "s0"},
+		{Node: 1},
+	}}
+	if _, err := sys.Execute(forged, "x"); err == nil {
+		t.Error("forged path executed without error")
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	sys, _ := convergedSystem(t, 63)
+	if _, err := sys.Execute(nil, "x"); err == nil {
+		t.Error("nil path accepted")
+	}
+	if _, err := sys.Execute(&routing.Path{}, "x"); err == nil {
+		t.Error("empty path accepted")
+	}
+	bad := &routing.Path{Hops: []routing.Hop{{Node: 9999}}}
+	if _, err := sys.Execute(bad, "x"); err == nil {
+		t.Error("out-of-range hop accepted")
+	}
+}
+
+func TestExecuteRelayOnlyPath(t *testing.T) {
+	sys, _ := convergedSystem(t, 64)
+	p := &routing.Path{Hops: []routing.Hop{{Node: 0}, {Node: 5}, {Node: 9}}}
+	trace, err := sys.Execute(p, "raw")
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(trace.Applied) != 0 {
+		t.Errorf("relay-only path applied services: %v", trace.Applied)
+	}
+	if trace.Payload != "raw" {
+		t.Errorf("payload mutated: %q", trace.Payload)
+	}
+	if trace.Forwards != 2 {
+		t.Errorf("forwards = %d, want 2", trace.Forwards)
+	}
+}
+
+func TestExecuteEndToEndMatchesRequestSemantics(t *testing.T) {
+	// Full-circle integration: route, execute, and check the executed
+	// service sequence satisfies the request's service graph.
+	sys, caps := convergedSystem(t, 65)
+	for i := 0; i < 10; i++ {
+		req, err := newRequest(t, caps, int64(70+i))
+		if err != nil {
+			continue
+		}
+		res, err := sys.Route(req)
+		if err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		trace, err := sys.Execute(res.Path, "payload")
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		applied := trace.Services()
+		matched := false
+		for _, config := range req.SG.Configurations() {
+			want := req.SG.ServicesOf(config)
+			if len(want) == len(applied) {
+				same := true
+				for j := range want {
+					if want[j] != applied[j] {
+						same = false
+						break
+					}
+				}
+				if same {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			t.Fatalf("executed services %v satisfy no configuration of %v", applied, req.SG)
+		}
+	}
+}

@@ -1,0 +1,611 @@
+// Package overlay runs the HFC framework as a concurrent message-passing
+// system: one goroutine per proxy with a mailbox, exchanging the §4 state
+// protocol messages (local-state floods, aggregate-state border exchange and
+// forwarding) and resolving §5 service requests by RPC — the destination
+// proxy computes the cluster-level path from its own converged tables and
+// sends child requests to the resolver proxies of the clusters involved.
+//
+// The same algorithm code as the synchronous simulation (packages state and
+// routing) runs here against each node's privately accumulated state, so
+// integration tests can check that the distributed execution converges to
+// exactly what the synchronous model predicts.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hfc/internal/hfc"
+	"hfc/internal/routing"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	// MailboxSize is each node's message buffer (default 256).
+	MailboxSize int
+	// DelayPerUnit, when positive, makes message delivery between nodes u
+	// and v take Dist(u,v)·DelayPerUnit of wall-clock time, simulating
+	// network latency. Zero delivers immediately (default).
+	DelayPerUnit time.Duration
+	// DropRate, in [0, 1], makes each state-protocol message (local-state
+	// flood, aggregate exchange, aggregate forward) be lost with this
+	// probability — fault injection for convergence testing. Request and
+	// reply traffic is never dropped (a deployment would retry it; the
+	// periodic protocol needs no retry because the next round resends
+	// everything). Default 0.
+	DropRate float64
+	// DropSeed seeds the drop decisions so failure tests are
+	// reproducible.
+	DropSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MailboxSize == 0 {
+		c.MailboxSize = 256
+	}
+	return c
+}
+
+// System is a running overlay of concurrent proxy nodes.
+type System struct {
+	topo *hfc.Topology
+	// caps is the ground-truth deployment; capsMu guards the slice and
+	// stored sets are treated as immutable (replaced, never mutated).
+	capsMu sync.RWMutex
+	caps   []svc.CapabilitySet
+	cfg    Config
+	nodes  []*node
+
+	// inflight tracks undelivered/unprocessed messages so Quiesce can wait
+	// for protocol cascades to settle.
+	inflight sync.WaitGroup
+	// stopped guards double-stop.
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	wg      sync.WaitGroup
+
+	// drop state (fault injection), guarded by dropMu.
+	dropMu  sync.Mutex
+	dropRng *rand.Rand
+	dropped int
+
+	// traffic counters (delivered messages by kind), guarded by statMu.
+	statMu sync.Mutex
+	stats  TrafficStats
+}
+
+// TrafficStats counts messages the runtime actually delivered, by kind.
+type TrafficStats struct {
+	// Local counts §4 local-state floods; Aggregate counts border
+	// exchanges plus intra-cluster forwards (the synchronous model's
+	// AggregateMessages + ForwardMessages).
+	Local, Aggregate int
+	// Route and Child count request-processing RPCs; Data counts
+	// data-plane forwards (Execute).
+	Route, Child, Data int
+}
+
+// Total returns the total delivered message count.
+func (t TrafficStats) Total() int {
+	return t.Local + t.Aggregate + t.Route + t.Child + t.Data
+}
+
+// message is the mailbox envelope. Exactly one field group is set.
+type message struct {
+	// local-state flood (§4 step 1).
+	localFrom     int
+	localServices []svc.Service
+
+	// aggregate-state exchange/forward (§4 step 2).
+	aggCluster  int
+	aggServices []svc.Service
+	aggForward  bool // true when this node must re-flood it intra-cluster
+
+	// broadcast trigger (control).
+	trigger bool
+
+	// route request (full §5 routing at this node).
+	routeReq   *svc.Request
+	routeReply chan routeReply
+
+	// child request (intra-cluster resolution at this node).
+	childReq   *routing.ChildRequest
+	childReply chan childReply
+
+	// data-plane stream step (see execute.go).
+	data *dataMsg
+
+	kind msgKind
+}
+
+type msgKind int
+
+const (
+	kindLocal msgKind = iota + 1
+	kindAggregate
+	kindTrigger
+	kindRoute
+	kindChild
+	kindData
+)
+
+type routeReply struct {
+	result *routing.Result
+	err    error
+}
+
+type childReply struct {
+	path *routing.Path
+	err  error
+}
+
+// node is one proxy's runtime.
+type node struct {
+	id    int
+	sys   *System
+	view  *hfc.NodeView
+	inbox chan message
+
+	// st guards the node's routing state, which worker goroutines read.
+	st    sync.RWMutex
+	state state.NodeState
+}
+
+// New builds a system over a constructed HFC topology and per-proxy
+// capabilities. Call Start to launch the goroutines.
+func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, error) {
+	if topo == nil {
+		return nil, errors.New("overlay: nil topology")
+	}
+	if len(caps) != topo.N() {
+		return nil, fmt.Errorf("overlay: %d capability sets for %d nodes", len(caps), topo.N())
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MailboxSize < 1 {
+		return nil, fmt.Errorf("overlay: mailbox size %d must be >= 1", cfg.MailboxSize)
+	}
+	if cfg.DropRate < 0 || cfg.DropRate > 1 {
+		return nil, fmt.Errorf("overlay: drop rate %v outside [0,1]", cfg.DropRate)
+	}
+	s := &System{topo: topo, caps: caps, cfg: cfg}
+	if cfg.DropRate > 0 {
+		s.dropRng = rand.New(rand.NewSource(cfg.DropSeed))
+	}
+	s.nodes = make([]*node, topo.N())
+	for i := range s.nodes {
+		view, err := topo.View(i)
+		if err != nil {
+			return nil, fmt.Errorf("overlay: %w", err)
+		}
+		n := &node{
+			id:    i,
+			sys:   s,
+			view:  view,
+			inbox: make(chan message, cfg.MailboxSize),
+			state: state.NodeState{
+				Node: i,
+				SCTP: map[int]svc.CapabilitySet{i: caps[i].Clone()},
+				SCTC: map[int]svc.CapabilitySet{},
+			},
+		}
+		// Every node knows its own cluster's aggregate of what it has seen
+		// so far (initially just itself).
+		n.state.SCTC[view.ClusterID] = caps[i].Clone()
+		s.nodes[i] = n
+	}
+	return s, nil
+}
+
+// Start launches one goroutine per node. It is an error to start twice.
+func (s *System) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("overlay: already started")
+	}
+	s.started = true
+	for _, n := range s.nodes {
+		s.wg.Add(1)
+		go func(n *node) {
+			defer s.wg.Done()
+			n.run()
+		}(n)
+	}
+	return nil
+}
+
+// Stop shuts the system down and waits for every node goroutine to exit.
+// Safe to call once; subsequent calls return an error.
+func (s *System) Stop() error {
+	s.mu.Lock()
+	if !s.started || s.stopped {
+		s.mu.Unlock()
+		return errors.New("overlay: not running")
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	// Wait for in-flight traffic, then close inboxes.
+	s.inflight.Wait()
+	for _, n := range s.nodes {
+		close(n.inbox)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// send delivers a message to node `to`, optionally after the simulated
+// network delay from node `from` (-1 for external injection, no delay).
+// State-protocol messages are subject to the configured drop rate.
+func (s *System) send(from, to int, m message) {
+	if s.dropRng != nil && (m.kind == kindLocal || m.kind == kindAggregate) {
+		s.dropMu.Lock()
+		drop := s.dropRng.Float64() < s.cfg.DropRate
+		if drop {
+			s.dropped++
+		}
+		s.dropMu.Unlock()
+		if drop {
+			return
+		}
+	}
+	s.inflight.Add(1)
+	s.statMu.Lock()
+	switch m.kind {
+	case kindLocal:
+		s.stats.Local++
+	case kindAggregate:
+		s.stats.Aggregate++
+	case kindRoute:
+		s.stats.Route++
+	case kindChild:
+		s.stats.Child++
+	case kindData:
+		s.stats.Data++
+	}
+	s.statMu.Unlock()
+	deliver := func() {
+		// A send racing Stop would panic on the closed channel; Stop waits
+		// for inflight first, so ordering is safe as long as callers only
+		// send while the system is running.
+		s.nodes[to].inbox <- m
+	}
+	if s.cfg.DelayPerUnit > 0 && from >= 0 && from != to {
+		d := time.Duration(s.topo.Dist(from, to)) * s.cfg.DelayPerUnit
+		time.AfterFunc(d, deliver)
+		return
+	}
+	deliver()
+}
+
+// TriggerStateRound makes every node broadcast its local state and, at
+// border proxies, aggregate and exchange cluster state — one full round of
+// the §4 protocol. Call Quiesce to wait for convergence.
+func (s *System) TriggerStateRound() {
+	for i := range s.nodes {
+		s.send(-1, i, message{kind: kindTrigger, trigger: true})
+	}
+}
+
+// Quiesce blocks until all in-flight messages (and the messages they
+// caused) have been processed.
+func (s *System) Quiesce() { s.inflight.Wait() }
+
+// DroppedMessages reports how many protocol messages fault injection has
+// discarded so far.
+func (s *System) DroppedMessages() int {
+	s.dropMu.Lock()
+	defer s.dropMu.Unlock()
+	return s.dropped
+}
+
+// Traffic snapshots the delivered-message counters.
+func (s *System) Traffic() TrafficStats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
+
+// UpdateCapability changes a proxy's installed services at runtime. The
+// change propagates on the NEXT protocol round — exactly the periodic
+// §4 behaviour; until then other nodes route on stale state, which is safe
+// because paths are validated against the live deployment at execution
+// time in a real system.
+func (s *System) UpdateCapability(node int, set svc.CapabilitySet) error {
+	if node < 0 || node >= len(s.nodes) {
+		return fmt.Errorf("overlay: node %d out of range [0,%d)", node, len(s.nodes))
+	}
+	if set == nil {
+		return errors.New("overlay: nil capability set")
+	}
+	s.capsMu.Lock()
+	s.caps[node] = set.Clone()
+	s.capsMu.Unlock()
+	n := s.nodes[node]
+	n.st.Lock()
+	n.state.SCTP[node] = set.Clone()
+	n.st.Unlock()
+	return nil
+}
+
+// capsOf returns node i's current capability set (immutable once stored).
+func (s *System) capsOf(i int) svc.CapabilitySet {
+	s.capsMu.RLock()
+	defer s.capsMu.RUnlock()
+	return s.caps[i]
+}
+
+// Capabilities snapshots the current ground-truth deployment.
+func (s *System) Capabilities() []svc.CapabilitySet {
+	s.capsMu.RLock()
+	defer s.capsMu.RUnlock()
+	out := make([]svc.CapabilitySet, len(s.caps))
+	for i, c := range s.caps {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Converged reports whether every node's state currently matches the
+// synchronous model's converged tables — the check failure-recovery tests
+// poll between protocol rounds.
+func (s *System) Converged() (bool, error) {
+	states, err := s.States()
+	if err != nil {
+		return false, err
+	}
+	return state.VerifyConvergence(s.topo, s.Capabilities(), states) == nil, nil
+}
+
+// Route injects a service request at its destination proxy and waits for
+// the composed service path, exactly as a client would.
+func (s *System) Route(req svc.Request) (*routing.Result, error) {
+	if err := req.Validate(s.topo.N()); err != nil {
+		return nil, err
+	}
+	reply := make(chan routeReply, 1)
+	r := req
+	s.send(-1, req.Dest, message{kind: kindRoute, routeReq: &r, routeReply: reply})
+	out := <-reply
+	return out.result, out.err
+}
+
+// StateOf snapshots a node's current routing state (deep copy).
+func (s *System) StateOf(id int) (state.NodeState, error) {
+	if id < 0 || id >= len(s.nodes) {
+		return state.NodeState{}, fmt.Errorf("overlay: node %d out of range [0,%d)", id, len(s.nodes))
+	}
+	n := s.nodes[id]
+	n.st.RLock()
+	defer n.st.RUnlock()
+	out := state.NodeState{
+		Node: id,
+		SCTP: make(map[int]svc.CapabilitySet, len(n.state.SCTP)),
+		SCTC: make(map[int]svc.CapabilitySet, len(n.state.SCTC)),
+	}
+	for k, v := range n.state.SCTP {
+		out.SCTP[k] = v.Clone()
+	}
+	for k, v := range n.state.SCTC {
+		out.SCTC[k] = v.Clone()
+	}
+	return out, nil
+}
+
+// States snapshots every node's state, aligned by node index.
+func (s *System) States() ([]state.NodeState, error) {
+	out := make([]state.NodeState, len(s.nodes))
+	for i := range s.nodes {
+		st, err := s.StateOf(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// run is the node's mailbox loop. Protocol messages mutate state inline;
+// route and child requests are dispatched to worker goroutines so a node
+// blocked composing a path keeps serving child requests (no distributed
+// deadlock).
+func (n *node) run() {
+	for m := range n.inbox {
+		switch m.kind {
+		case kindLocal:
+			n.st.Lock()
+			n.state.SCTP[m.localFrom] = svc.NewCapabilitySet(m.localServices...)
+			n.st.Unlock()
+			n.sys.inflight.Done()
+		case kindAggregate:
+			n.st.Lock()
+			n.state.SCTC[m.aggCluster] = svc.NewCapabilitySet(m.aggServices...)
+			n.st.Unlock()
+			if m.aggForward {
+				n.forwardAggregate(m.aggCluster, m.aggServices)
+			}
+			n.sys.inflight.Done()
+		case kindTrigger:
+			n.broadcast()
+			n.sys.inflight.Done()
+		case kindRoute:
+			go n.handleRoute(m)
+		case kindChild:
+			go n.handleChild(m)
+		case kindData:
+			// A data chain sends onward from inside the handler; run it off
+			// the mailbox loop so a full downstream inbox can never stall
+			// message consumption (and thus never deadlock a cycle).
+			go n.handleData(m)
+		}
+	}
+}
+
+// broadcast floods this node's local state to its cluster and, if it is a
+// border proxy, aggregates its cluster's (currently known) capability and
+// sends it across each external link it terminates.
+func (n *node) broadcast() {
+	services := n.sys.capsOf(n.id).Sorted()
+	for _, member := range n.view.Members {
+		if member == n.id {
+			continue
+		}
+		n.sys.send(n.id, member, message{
+			kind:          kindLocal,
+			localFrom:     n.id,
+			localServices: services,
+		})
+	}
+	// Border duty: for each cluster pair this node terminates, send the
+	// aggregate of its own cluster.
+	n.st.RLock()
+	sets := make([]svc.CapabilitySet, 0, len(n.state.SCTP))
+	for _, set := range n.state.SCTP {
+		sets = append(sets, set)
+	}
+	n.st.RUnlock()
+	agg := svc.Union(sets...).Sorted()
+	own := n.view.ClusterID
+	for other := 0; other < n.view.NumClusters; other++ {
+		if other == own {
+			continue
+		}
+		inOwn, inOther, err := n.view.Border(own, other)
+		if err != nil || inOwn != n.id {
+			continue
+		}
+		n.sys.send(n.id, inOther, message{
+			kind:        kindAggregate,
+			aggCluster:  own,
+			aggServices: agg,
+			aggForward:  true,
+		})
+	}
+	// Record our own cluster's aggregate locally.
+	n.st.Lock()
+	n.state.SCTC[own] = svc.NewCapabilitySet(agg...)
+	n.st.Unlock()
+}
+
+// forwardAggregate re-floods a received aggregate to the rest of this
+// node's cluster (§4 step 2, receiving border's duty).
+func (n *node) forwardAggregate(cluster int, services []svc.Service) {
+	for _, member := range n.view.Members {
+		if member == n.id {
+			continue
+		}
+		n.sys.send(n.id, member, message{
+			kind:        kindAggregate,
+			aggCluster:  cluster,
+			aggServices: services,
+			aggForward:  false,
+		})
+	}
+}
+
+// handleRoute performs the full §5 procedure at this (destination) node.
+func (n *node) handleRoute(m message) {
+	defer n.sys.inflight.Done()
+	n.st.RLock()
+	snapshot := n.state
+	// Routing only reads the tables; holding the read lock for the whole
+	// computation would block protocol updates, so deep-copy instead.
+	stCopy := state.NodeState{Node: n.id, SCTP: map[int]svc.CapabilitySet{}, SCTC: map[int]svc.CapabilitySet{}}
+	for k, v := range snapshot.SCTP {
+		stCopy.SCTP[k] = v.Clone()
+	}
+	for k, v := range snapshot.SCTC {
+		stCopy.SCTC[k] = v.Clone()
+	}
+	n.st.RUnlock()
+
+	router := &routing.HierarchicalRouter{
+		View:            n.view,
+		State:           &stCopy,
+		Intra:           rpcSolver{n: n},
+		ClusterOfSource: n.sys.topo.ClusterOf,
+		Mode:            routing.RelaxBacktrack,
+	}
+	res, err := router.Route(*m.routeReq)
+	m.routeReply <- routeReply{result: res, err: err}
+}
+
+// handleChild resolves a child request against this node's own SCT_P.
+func (n *node) handleChild(m message) {
+	defer n.sys.inflight.Done()
+	path, err := n.solveChildLocal(*m.childReq)
+	m.childReply <- childReply{path: path, err: err}
+}
+
+// solveChildLocal is the §5.2 intra-cluster computation using this node's
+// privately accumulated SCT_P.
+func (n *node) solveChildLocal(child routing.ChildRequest) (*routing.Path, error) {
+	if len(child.Services) == 0 {
+		if child.Source == child.Dest {
+			return &routing.Path{Hops: []routing.Hop{{Node: child.Source}}}, nil
+		}
+		d, err := n.view.Dist(child.Source, child.Dest)
+		if err != nil {
+			return nil, err
+		}
+		return &routing.Path{
+			Hops:         []routing.Hop{{Node: child.Source}, {Node: child.Dest}},
+			DecisionCost: d,
+		}, nil
+	}
+	sg, err := svc.Linear(child.Services...)
+	if err != nil {
+		return nil, err
+	}
+	n.st.RLock()
+	providers := func(x svc.Service) []int {
+		var out []int
+		for _, member := range n.view.Members {
+			if set, ok := n.state.SCTP[member]; ok && set.Has(x) {
+				out = append(out, member)
+			}
+		}
+		return out
+	}
+	defer n.st.RUnlock()
+	oracle := routing.OracleFunc(func(u, v int) float64 {
+		d, err := n.view.Dist(u, v)
+		if err != nil {
+			// Intra-cluster endpoints are always in the view; an error
+			// here is a harness bug.
+			panic(err)
+		}
+		return d
+	})
+	req := svc.Request{Source: child.Source, Dest: child.Dest, SG: sg}
+	return routing.FindPath(req, providers, oracle, nil)
+}
+
+// rpcSolver sends child requests to their resolver proxies and waits for
+// the answers — the conquer phase as actual message exchange. A child whose
+// resolver is this node is solved inline (a node does not RPC itself).
+type rpcSolver struct {
+	n *node
+}
+
+var _ routing.IntraSolver = rpcSolver{}
+
+// SolveChild implements routing.IntraSolver.
+func (s rpcSolver) SolveChild(child routing.ChildRequest) (*routing.Path, error) {
+	if child.Resolver == s.n.id {
+		return s.n.solveChildLocal(child)
+	}
+	reply := make(chan childReply, 1)
+	c := child
+	s.n.sys.send(s.n.id, child.Resolver, message{kind: kindChild, childReq: &c, childReply: reply})
+	out := <-reply
+	if out.err != nil {
+		return nil, fmt.Errorf("overlay: child request at %d: %w", child.Resolver, out.err)
+	}
+	return out.path, nil
+}

@@ -1,0 +1,324 @@
+package overlay
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/hfc"
+	"hfc/internal/routing"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// buildFixture creates a 3-cluster overlay with deterministic geometry and
+// random capabilities.
+func buildFixture(t *testing.T, seed int64) (*hfc.Topology, []svc.CapabilitySet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pts []coords.Point
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 8; i++ {
+			pts = append(pts, coords.Point{float64(c)*300 + rng.Float64()*30, rng.Float64() * 30})
+		}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	res, err := cluster.Cluster(len(pts), cmap.Dist, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	topo, err := hfc.Build(cmap, res)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cat, err := svc.NewCatalog(12)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	caps, err := svc.RandomCapabilities(rng, len(pts), cat, 2, 5)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	return topo, caps
+}
+
+func startSystem(t *testing.T, topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) *System {
+	t.Helper()
+	sys, err := New(topo, caps, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		// Stop errors after an explicit test Stop are fine.
+		_ = sys.Stop()
+	})
+	return sys
+}
+
+func TestNewValidation(t *testing.T) {
+	topo, caps := buildFixture(t, 1)
+	if _, err := New(nil, caps, Config{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := New(topo, caps[:3], Config{}); err == nil {
+		t.Error("short capability list accepted")
+	}
+	if _, err := New(topo, caps, Config{MailboxSize: -1}); err == nil {
+		t.Error("negative mailbox accepted")
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	topo, caps := buildFixture(t, 2)
+	sys, err := New(topo, caps, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.Stop(); err == nil {
+		t.Error("Stop before Start succeeded")
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sys.Start(); err == nil {
+		t.Error("double Start succeeded")
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := sys.Stop(); err == nil {
+		t.Error("double Stop succeeded")
+	}
+}
+
+func TestProtocolConvergesToSynchronousModel(t *testing.T) {
+	topo, caps := buildFixture(t, 3)
+	sys := startSystem(t, topo, caps, Config{})
+
+	// Two protocol rounds: the first converges SCT_P everywhere; the
+	// second lets border proxies aggregate over complete local knowledge.
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+
+	got, err := sys.States()
+	if err != nil {
+		t.Fatalf("States: %v", err)
+	}
+	if err := state.VerifyConvergence(topo, caps, got); err != nil {
+		t.Fatalf("distributed protocol did not converge to the synchronous model: %v", err)
+	}
+	// And it must equal Distribute's output exactly.
+	want, _, err := state.Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	for i := range want {
+		for k, set := range want[i].SCTP {
+			if !got[i].SCTP[k].Equal(set) {
+				t.Fatalf("node %d SCT_P[%d] mismatch", i, k)
+			}
+		}
+		for k, set := range want[i].SCTC {
+			if !got[i].SCTC[k].Equal(set) {
+				t.Fatalf("node %d SCT_C[%d] mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestDistributedRoutingMatchesSimulation(t *testing.T) {
+	topo, caps := buildFixture(t, 4)
+	sys := startSystem(t, topo, caps, Config{})
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+
+	states, _, err := state.Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	for i := 0; i < 15; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		distRes, err := sys.Route(req)
+		if err != nil {
+			t.Fatalf("distributed Route: %v", err)
+		}
+		if err := distRes.Path.Validate(req, caps); err != nil {
+			t.Fatalf("distributed path invalid: %v", err)
+		}
+		simPath, err := routing.RouteHierarchical(topo, states, req, routing.RelaxBacktrack)
+		if err != nil {
+			t.Fatalf("simulated route: %v", err)
+		}
+		// Same algorithm, same state → identical hop sequences.
+		if len(distRes.Path.Hops) != len(simPath.Hops) {
+			t.Fatalf("request %d: distributed %v != simulated %v", i, distRes.Path, simPath)
+		}
+		for h := range simPath.Hops {
+			if distRes.Path.Hops[h] != simPath.Hops[h] {
+				t.Fatalf("request %d hop %d: distributed %v != simulated %v", i, h, distRes.Path, simPath)
+			}
+		}
+	}
+}
+
+func TestConcurrentRoutesDoNotDeadlock(t *testing.T) {
+	topo, caps := buildFixture(t, 5)
+	sys := startSystem(t, topo, caps, Config{})
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+
+	rng := rand.New(rand.NewSource(10))
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	reqs := make([]svc.Request, 40)
+	for i := range reqs {
+		r, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		reqs[i] = r
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(reqs))
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req svc.Request) {
+			defer wg.Done()
+			res, err := sys.Route(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := res.Path.Validate(req, caps); err != nil {
+				errs <- err
+			}
+		}(req)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent routing deadlocked")
+	}
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent route: %v", err)
+	}
+}
+
+func TestSimulatedDelayStillConverges(t *testing.T) {
+	topo, caps := buildFixture(t, 6)
+	sys := startSystem(t, topo, caps, Config{DelayPerUnit: 10 * time.Microsecond})
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	got, err := sys.States()
+	if err != nil {
+		t.Fatalf("States: %v", err)
+	}
+	if err := state.VerifyConvergence(topo, caps, got); err != nil {
+		t.Fatalf("delayed protocol did not converge: %v", err)
+	}
+}
+
+func TestRouteBeforeConvergenceFailsGracefully(t *testing.T) {
+	topo, caps := buildFixture(t, 7)
+	sys := startSystem(t, topo, caps, Config{})
+	// No protocol rounds: nodes only know themselves. Routing must either
+	// fail cleanly (no providers visible) or return a valid path — never
+	// hang or return garbage.
+	rng := rand.New(rand.NewSource(11))
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 3)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		res, err := sys.Route(req)
+		if err != nil {
+			continue // expected: incomplete state
+		}
+		if err := res.Path.Validate(req, caps); err != nil {
+			t.Errorf("pre-convergence path invalid: %v", err)
+		}
+	}
+}
+
+func TestStateOfValidation(t *testing.T) {
+	topo, caps := buildFixture(t, 8)
+	sys := startSystem(t, topo, caps, Config{})
+	if _, err := sys.StateOf(-1); err == nil {
+		t.Error("negative id accepted")
+	}
+	if _, err := sys.StateOf(topo.N()); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	st, err := sys.StateOf(0)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	// Snapshot isolation: mutating the copy must not affect the node.
+	st.SCTP[0].Add("injected")
+	st2, err := sys.StateOf(0)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if st2.SCTP[0].Has("injected") {
+		t.Error("StateOf returned an aliased snapshot")
+	}
+}
+
+func TestRouteValidatesRequest(t *testing.T) {
+	topo, caps := buildFixture(t, 12)
+	sys := startSystem(t, topo, caps, Config{})
+	sg, err := svc.Linear("s0")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	if _, err := sys.Route(svc.Request{Source: -1, Dest: 0, SG: sg}); err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+// newRequest draws one satisfiable request from a per-seed generator.
+func newRequest(t *testing.T, caps []svc.CapabilitySet, seed int64) (svc.Request, error) {
+	t.Helper()
+	gen, err := svc.NewRequestGenerator(rand.New(rand.NewSource(seed+1000)), caps, 2, 4)
+	if err != nil {
+		return svc.Request{}, err
+	}
+	return gen.Next()
+}

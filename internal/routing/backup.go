@@ -1,0 +1,53 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"hfc/internal/svc"
+)
+
+// ErrNoBackup is returned when no provider-disjoint backup path exists.
+var ErrNoBackup = errors.New("routing: no provider-disjoint backup path")
+
+// FindDisjointPair computes a primary optimal service path and a backup
+// path whose PROVIDER nodes are disjoint from the primary's — if any proxy
+// serving the primary fails (the "machine volatility" the paper lists among
+// QoS concerns), the backup is immediately usable. Relay nodes and the
+// request endpoints may be shared; only service placements must differ.
+//
+// The backup is the optimal path over the reduced provider sets, so the
+// pair is the classical "best + best-disjoint" combination rather than a
+// jointly-optimal pair (which would require Suurballe-style machinery over
+// provider assignments; the greedy pair is what failover systems deploy).
+// ErrNoBackup (wrapped) is returned when some service has all its providers
+// on the primary path.
+func FindDisjointPair(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expander) (primary, backup *Path, err error) {
+	primary, err = FindPath(req, providers, oracle, exp)
+	if err != nil {
+		return nil, nil, err
+	}
+	used := make(map[int]bool)
+	for _, h := range primary.Hops {
+		if h.Service != "" {
+			used[h.Node] = true
+		}
+	}
+	reduced := func(s svc.Service) []int {
+		var out []int
+		for _, p := range providers(s) {
+			if !used[p] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	backup, err = FindPath(req, reduced, oracle, exp)
+	if err != nil {
+		if errors.Is(err, ErrNoProviders) || errors.Is(err, ErrInfeasible) {
+			return primary, nil, fmt.Errorf("routing: %w: %v", ErrNoBackup, err)
+		}
+		return primary, nil, err
+	}
+	return primary, backup, nil
+}

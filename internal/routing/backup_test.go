@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hfc/internal/coords"
+	"hfc/internal/svc"
+)
+
+func TestFindDisjointPairBasic(t *testing.T) {
+	// Two providers of each service on either side of the line.
+	pts := []coords.Point{
+		{0, 0},  // 0 source
+		{30, 0}, // 1 dest
+		{10, 1}, // 2 a (near)
+		{20, 1}, // 3 b (near)
+		{10, 9}, // 4 a (far)
+		{20, 9}, // 5 b (far)
+	}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(), svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("a"), svc.NewCapabilitySet("b"),
+		svc.NewCapabilitySet("a"), svc.NewCapabilitySet("b"),
+	}
+	req := svc.Request{Source: 0, Dest: 1, SG: mustLinear(t, "a", "b")}
+	primary, backup, err := FindDisjointPair(req, CapabilityProviders(caps), euclidOracle(pts), nil)
+	if err != nil {
+		t.Fatalf("FindDisjointPair: %v", err)
+	}
+	if err := primary.Validate(req, caps); err != nil {
+		t.Fatalf("primary invalid: %v", err)
+	}
+	if err := backup.Validate(req, caps); err != nil {
+		t.Fatalf("backup invalid: %v", err)
+	}
+	// Primary uses the near providers, backup the far ones.
+	if n := serviceNode(primary, "a"); n != 2 {
+		t.Errorf("primary a on %d, want 2", n)
+	}
+	if n := serviceNode(backup, "a"); n != 4 {
+		t.Errorf("backup a on %d, want 4", n)
+	}
+	if backup.DecisionCost < primary.DecisionCost {
+		t.Errorf("backup %v cheaper than primary %v", backup.DecisionCost, primary.DecisionCost)
+	}
+}
+
+func TestFindDisjointPairNoBackup(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {10, 0}, {5, 1}}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(), svc.NewCapabilitySet(), svc.NewCapabilitySet("only"),
+	}
+	req := svc.Request{Source: 0, Dest: 1, SG: mustLinear(t, "only")}
+	primary, backup, err := FindDisjointPair(req, CapabilityProviders(caps), euclidOracle(pts), nil)
+	if !errors.Is(err, ErrNoBackup) {
+		t.Fatalf("err = %v, want ErrNoBackup", err)
+	}
+	if primary == nil {
+		t.Fatal("primary missing despite feasible request")
+	}
+	if backup != nil {
+		t.Fatal("backup returned alongside ErrNoBackup")
+	}
+}
+
+func TestFindDisjointPairInfeasiblePrimary(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {10, 0}}
+	caps := []svc.CapabilitySet{svc.NewCapabilitySet(), svc.NewCapabilitySet()}
+	req := svc.Request{Source: 0, Dest: 1, SG: mustLinear(t, "ghost")}
+	if _, _, err := FindDisjointPair(req, CapabilityProviders(caps), euclidOracle(pts), nil); !errors.Is(err, ErrNoProviders) {
+		t.Fatalf("err = %v, want ErrNoProviders", err)
+	}
+}
+
+func TestFindDisjointPairProviderDisjointProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(12)
+		pts := make([]coords.Point, n)
+		for i := range pts {
+			pts[i] = coords.Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		cat, err := svc.NewCatalog(5)
+		if err != nil {
+			return false
+		}
+		caps, err := svc.RandomCapabilities(rng, n, cat, 1, 3)
+		if err != nil {
+			return false
+		}
+		gen, err := svc.NewRequestGenerator(rng, caps, 2, 3)
+		if err != nil {
+			return true // random deployment too thin for the length range
+		}
+		req, err := gen.Next()
+		if err != nil {
+			return false
+		}
+		primary, backup, err := FindDisjointPair(req, CapabilityProviders(caps), euclidOracle(pts), nil)
+		if errors.Is(err, ErrNoBackup) {
+			return primary != nil // legitimate outcome
+		}
+		if err != nil {
+			return false
+		}
+		if primary.Validate(req, caps) != nil || backup.Validate(req, caps) != nil {
+			return false
+		}
+		// Provider sets must be disjoint.
+		used := map[int]bool{}
+		for _, h := range primary.Hops {
+			if h.Service != "" {
+				used[h.Node] = true
+			}
+		}
+		for _, h := range backup.Hops {
+			if h.Service != "" && used[h.Node] {
+				return false
+			}
+		}
+		return backup.DecisionCost >= primary.DecisionCost-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"hfc/internal/hfc"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// NewHierarchicalRouter wires a §5 router for the destination proxy dest
+// from the simulation's global structures, carving out exactly the
+// knowledge dest legitimately holds: its Fig. 4 view, its converged state,
+// a LocalIntraSolver for child requests, and the cluster-ID query answered
+// from the clustering assignment (the source proxy would answer it in a
+// deployment).
+func NewHierarchicalRouter(topo *hfc.Topology, states []state.NodeState, dest int, mode RelaxMode) (*HierarchicalRouter, error) {
+	if topo == nil {
+		return nil, errors.New("routing: nil topology")
+	}
+	if len(states) != topo.N() {
+		return nil, fmt.Errorf("routing: %d states for %d nodes", len(states), topo.N())
+	}
+	if dest < 0 || dest >= topo.N() {
+		return nil, fmt.Errorf("routing: destination %d out of range [0,%d)", dest, topo.N())
+	}
+	view, err := topo.View(dest)
+	if err != nil {
+		return nil, err
+	}
+	return &HierarchicalRouter{
+		View:            view,
+		State:           &states[dest],
+		Intra:           &LocalIntraSolver{Topo: topo, States: states},
+		ClusterOfSource: topo.ClusterOf,
+		Mode:            mode,
+	}, nil
+}
+
+// RouteHierarchical is the one-call form: route req over the HFC framework
+// with converged state, returning the composed path.
+func RouteHierarchical(topo *hfc.Topology, states []state.NodeState, req svc.Request, mode RelaxMode) (*Path, error) {
+	r, err := NewHierarchicalRouter(topo, states, req.Dest, mode)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Route(req)
+	if err != nil {
+		return nil, err
+	}
+	return res.Path, nil
+}

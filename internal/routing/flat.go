@@ -1,0 +1,285 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hfc/internal/svc"
+)
+
+// ErrNoProviders is returned when a requested service is installed nowhere
+// the router can see.
+var ErrNoProviders = errors.New("routing: service has no providers")
+
+// ErrInfeasible is returned when no feasible service path exists.
+var ErrInfeasible = errors.New("routing: no feasible service path")
+
+// Oracle supplies decision-time distances between overlay nodes. Distances
+// must be non-negative; the shortest-path machinery assumes it.
+type Oracle interface {
+	Dist(u, v int) float64
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(u, v int) float64
+
+// Dist implements Oracle.
+func (f OracleFunc) Dist(u, v int) float64 { return f(u, v) }
+
+// Expander turns one logical overlay hop into the concrete node sequence
+// the topology forces the stream through (endpoints included): mesh relay
+// chains, or the border-proxy pair of an HFC inter-cluster hop. A nil
+// Expander means every hop is direct.
+type Expander interface {
+	Expand(u, v int) ([]int, error)
+}
+
+// ProviderFunc lists the overlay nodes offering a service, under whatever
+// state the routing scheme has (global state for flat schemes, SCT_P for
+// intra-cluster routing).
+type ProviderFunc func(s svc.Service) []int
+
+// EdgeFilter reports whether routing may lay a logical overlay hop from u
+// to v; it is how QoS bandwidth constraints prune the service DAG. A nil
+// filter admits everything. Same-node transitions (two services on one
+// proxy) are never filtered.
+type EdgeFilter func(u, v int) bool
+
+// FindPath computes an optimal service path for req with the global-view
+// algorithm of [11]: build the service DAG — virtual source, one vertex per
+// (service-graph vertex, provider) pair, virtual sink — and relax its edges
+// in service-graph topological order. With a non-negative oracle this
+// yields a minimum-cost feasible service path under the oracle's metric.
+//
+// The returned path's DecisionCost is the DAG cost; hops between distinct
+// nodes are expanded through exp when given (relays get empty Service).
+func FindPath(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expander) (*Path, error) {
+	return FindPathFiltered(req, providers, oracle, exp, nil)
+}
+
+// FindPathFiltered is FindPath with an admissibility filter on overlay
+// hops: DAG edges whose endpoints fail the filter are not relaxed, so the
+// result is the minimum-cost service path using admissible hops only. It
+// returns ErrInfeasible when the filter disconnects every configuration.
+func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expander, admissible EdgeFilter) (*Path, error) {
+	if providers == nil {
+		return nil, errors.New("routing: nil provider function")
+	}
+	if oracle == nil {
+		return nil, errors.New("routing: nil oracle")
+	}
+	if err := req.SG.Validate(); err != nil {
+		return nil, err
+	}
+	hopOK := func(u, v int) bool {
+		return u == v || admissible == nil || admissible(u, v)
+	}
+
+	sg := req.SG
+	nv := sg.Len()
+
+	// Provider lists per service-graph vertex.
+	provs := make([][]int, nv)
+	for v := 0; v < nv; v++ {
+		provs[v] = providers(sg.Services[v])
+		if len(provs[v]) == 0 {
+			return nil, fmt.Errorf("routing: service %q: %w", sg.Services[v], ErrNoProviders)
+		}
+	}
+
+	// dist[v][i] is the best cost from the virtual source to provider
+	// provs[v][i] having performed the services of some SG path ending at
+	// vertex v. parent tracks (prevVertex, prevProviderIdx); prevVertex ==
+	// -1 marks the virtual source.
+	dist := make([][]float64, nv)
+	parentV := make([][]int, nv)
+	parentI := make([][]int, nv)
+	for v := 0; v < nv; v++ {
+		dist[v] = make([]float64, len(provs[v]))
+		parentV[v] = make([]int, len(provs[v]))
+		parentI[v] = make([]int, len(provs[v]))
+		for i := range dist[v] {
+			dist[v][i] = math.Inf(1)
+			parentV[v][i] = -2
+		}
+	}
+
+	// Initialize SG source vertices from the virtual source (req.Source).
+	for _, v := range sg.Sources() {
+		for i, p := range provs[v] {
+			if !hopOK(req.Source, p) {
+				continue
+			}
+			var d float64
+			if p != req.Source {
+				d = oracle.Dist(req.Source, p)
+			}
+			if d < dist[v][i] {
+				dist[v][i] = d
+				parentV[v][i] = -1
+				parentI[v][i] = -1
+			}
+		}
+	}
+
+	// Relax SG edges in topological order of the service graph.
+	order, err := sgTopoOrder(sg)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, nv)
+	for idx, v := range order {
+		pos[v] = idx
+	}
+	// Group edges by tail and process tails in topological order.
+	edgesByTail := make([][]int, nv)
+	for _, e := range sg.Edges {
+		edgesByTail[e[0]] = append(edgesByTail[e[0]], e[1])
+	}
+	for _, u := range order {
+		for i, p := range provs[u] {
+			du := dist[u][i]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			for _, v := range edgesByTail[u] {
+				for j, q := range provs[v] {
+					if !hopOK(p, q) {
+						continue
+					}
+					var d float64
+					if p != q {
+						d = oracle.Dist(p, q)
+					}
+					if nd := du + d; nd < dist[v][j] {
+						dist[v][j] = nd
+						parentV[v][j] = u
+						parentI[v][j] = i
+					}
+				}
+			}
+		}
+	}
+
+	// Terminate at the virtual sink (req.Dest) from SG sink vertices.
+	bestCost := math.Inf(1)
+	bestV, bestI := -1, -1
+	for _, v := range sg.Sinks() {
+		for i, p := range provs[v] {
+			if math.IsInf(dist[v][i], 1) || !hopOK(p, req.Dest) {
+				continue
+			}
+			var d float64
+			if p != req.Dest {
+				d = oracle.Dist(p, req.Dest)
+			}
+			if c := dist[v][i] + d; c < bestCost {
+				bestCost = c
+				bestV, bestI = v, i
+			}
+		}
+	}
+	if bestV == -1 {
+		return nil, ErrInfeasible
+	}
+
+	// Reconstruct the (service, node) sequence.
+	type step struct {
+		v, i int
+	}
+	var rev []step
+	for v, i := bestV, bestI; v != -1; {
+		rev = append(rev, step{v, i})
+		pv, pi := parentV[v][i], parentI[v][i]
+		v, i = pv, pi
+	}
+	hops := []Hop{{Node: req.Source}}
+	for idx := len(rev) - 1; idx >= 0; idx-- {
+		s := rev[idx]
+		hops = append(hops, Hop{Node: provs[s.v][s.i], Service: sg.Services[s.v]})
+	}
+	hops = append(hops, Hop{Node: req.Dest})
+
+	expanded, err := expandHops(hops, exp)
+	if err != nil {
+		return nil, err
+	}
+	return &Path{Hops: expanded, DecisionCost: bestCost}, nil
+}
+
+// sgTopoOrder topologically orders the service-graph vertices.
+func sgTopoOrder(sg *svc.Graph) ([]int, error) {
+	n := sg.Len()
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range sg.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("routing: service graph contains a cycle")
+	}
+	return order, nil
+}
+
+// expandHops inserts topology-mandated relay nodes between consecutive hops
+// on distinct nodes.
+func expandHops(hops []Hop, exp Expander) ([]Hop, error) {
+	if exp == nil {
+		return hops, nil
+	}
+	out := []Hop{hops[0]}
+	for i := 1; i < len(hops); i++ {
+		prev, cur := hops[i-1], hops[i]
+		if prev.Node == cur.Node {
+			out = append(out, cur)
+			continue
+		}
+		seq, err := exp.Expand(prev.Node, cur.Node)
+		if err != nil {
+			return nil, fmt.Errorf("routing: expanding hop %d->%d: %w", prev.Node, cur.Node, err)
+		}
+		if len(seq) < 2 || seq[0] != prev.Node || seq[len(seq)-1] != cur.Node {
+			return nil, fmt.Errorf("routing: expander returned invalid sequence %v for hop %d->%d", seq, prev.Node, cur.Node)
+		}
+		for _, relay := range seq[1 : len(seq)-1] {
+			out = append(out, Hop{Node: relay})
+		}
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// CapabilityProviders builds a ProviderFunc over an explicit capability
+// assignment: providers of s are all nodes whose set contains s, in index
+// order. This models full global service-capability state.
+func CapabilityProviders(caps []svc.CapabilitySet) ProviderFunc {
+	return func(s svc.Service) []int {
+		var out []int
+		for i, set := range caps {
+			if set.Has(s) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}

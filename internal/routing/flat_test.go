@@ -1,0 +1,398 @@
+package routing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hfc/internal/coords"
+	"hfc/internal/svc"
+)
+
+// euclidOracle builds an oracle over 2-D points.
+func euclidOracle(pts []coords.Point) Oracle {
+	return OracleFunc(func(u, v int) float64 { return coords.Dist(pts[u], pts[v]) })
+}
+
+func mustLinear(t *testing.T, services ...svc.Service) *svc.Graph {
+	t.Helper()
+	g, err := svc.Linear(services...)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	return g
+}
+
+func TestFindPathSingleService(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {5, 0}, {10, 0}, {5, 10}}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("x"),
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("x"),
+	}
+	req := svc.Request{Source: 0, Dest: 2, SG: mustLinear(t, "x")}
+	p, err := FindPath(req, CapabilityProviders(caps), euclidOracle(pts), nil)
+	if err != nil {
+		t.Fatalf("FindPath: %v", err)
+	}
+	// Provider 1 is on the straight line (cost 10); provider 3 detours
+	// (cost ~22.4).
+	if len(p.Hops) != 3 || p.Hops[1].Node != 1 || p.Hops[1].Service != "x" {
+		t.Errorf("path = %v, want x on node 1", p)
+	}
+	if math.Abs(p.DecisionCost-10) > 1e-9 {
+		t.Errorf("cost = %v, want 10", p.DecisionCost)
+	}
+	if err := p.Validate(req, caps); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFindPathServicesCollapseOnOneNode(t *testing.T) {
+	// A node with both services should host both when it is on the way.
+	pts := []coords.Point{{0, 0}, {5, 0}, {10, 0}}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("a", "b"),
+		svc.NewCapabilitySet(),
+	}
+	req := svc.Request{Source: 0, Dest: 2, SG: mustLinear(t, "a", "b")}
+	p, err := FindPath(req, CapabilityProviders(caps), euclidOracle(pts), nil)
+	if err != nil {
+		t.Fatalf("FindPath: %v", err)
+	}
+	if math.Abs(p.DecisionCost-10) > 1e-9 {
+		t.Errorf("cost = %v, want 10 (both services on node 1)", p.DecisionCost)
+	}
+	wantHops := 4 // src, a/1, b/1, dst
+	if len(p.Hops) != wantHops {
+		t.Errorf("hops = %v, want %d entries", p.Hops, wantHops)
+	}
+	if err := p.Validate(req, caps); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFindPathNoProviders(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {1, 0}}
+	caps := []svc.CapabilitySet{svc.NewCapabilitySet(), svc.NewCapabilitySet()}
+	req := svc.Request{Source: 0, Dest: 1, SG: mustLinear(t, "ghost")}
+	if _, err := FindPath(req, CapabilityProviders(caps), euclidOracle(pts), nil); !errors.Is(err, ErrNoProviders) {
+		t.Errorf("err = %v, want ErrNoProviders", err)
+	}
+}
+
+func TestFindPathValidationErrors(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {1, 0}}
+	caps := []svc.CapabilitySet{svc.NewCapabilitySet("x"), svc.NewCapabilitySet()}
+	req := svc.Request{Source: 0, Dest: 1, SG: mustLinear(t, "x")}
+	if _, err := FindPath(req, nil, euclidOracle(pts), nil); err == nil {
+		t.Error("nil providers accepted")
+	}
+	if _, err := FindPath(req, CapabilityProviders(caps), nil, nil); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	bad := svc.Request{Source: 0, Dest: 1, SG: &svc.Graph{}}
+	if _, err := FindPath(bad, CapabilityProviders(caps), euclidOracle(pts), nil); err == nil {
+		t.Error("invalid SG accepted")
+	}
+}
+
+// bruteForceLinear enumerates every provider assignment for a linear SG and
+// returns the optimal cost.
+func bruteForceLinear(req svc.Request, provs ProviderFunc, oracle Oracle) float64 {
+	services := req.SG.Services
+	best := math.Inf(1)
+	var rec func(idx, prev int, cost float64)
+	rec = func(idx, prev int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if idx == len(services) {
+			total := cost
+			if prev != req.Dest {
+				total += oracle.Dist(prev, req.Dest)
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for _, p := range provs(services[idx]) {
+			step := 0.0
+			if p != prev {
+				step = oracle.Dist(prev, p)
+			}
+			rec(idx+1, p, cost+step)
+		}
+	}
+	rec(0, req.Source, 0)
+	return best
+}
+
+func TestFindPathMatchesBruteForceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(10)
+		pts := make([]coords.Point, n)
+		for i := range pts {
+			pts[i] = coords.Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		cat, err := svc.NewCatalog(5)
+		if err != nil {
+			return false
+		}
+		caps, err := svc.RandomCapabilities(rng, n, cat, 1, 3)
+		if err != nil {
+			return false
+		}
+		gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+		if err != nil {
+			return true // random deployment too thin for the length range
+		}
+		req, err := gen.Next()
+		if err != nil {
+			return false
+		}
+		oracle := euclidOracle(pts)
+		provs := CapabilityProviders(caps)
+		p, err := FindPath(req, provs, oracle, nil)
+		if err != nil {
+			return false
+		}
+		if err := p.Validate(req, caps); err != nil {
+			return false
+		}
+		// Reported cost must equal recomputed hop length and the brute-
+		// force optimum.
+		if math.Abs(p.DecisionCost-p.Length(oracle.Dist)) > 1e-9 {
+			return false
+		}
+		want := bruteForceLinear(req, provs, oracle)
+		return math.Abs(p.DecisionCost-want) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindPathNonLinearSGPicksBestConfiguration(t *testing.T) {
+	// Fig. 2(b)-style SG: configurations s0→s1→s2, s3→s1→s2, s3→s2.
+	sg := &svc.Graph{
+		Services: []svc.Service{"s0", "s1", "s2", "s3"},
+		Edges:    [][2]int{{0, 1}, {3, 1}, {1, 2}, {3, 2}},
+	}
+	// Geometry: s3 and s2 providers sit on the straight line from source to
+	// dest; s0/s1 providers force a detour. The best configuration must be
+	// s3→s2.
+	pts := []coords.Point{
+		{0, 0},   // 0: source
+		{30, 0},  // 1: dest
+		{10, 0},  // 2: provides s3
+		{20, 0},  // 3: provides s2
+		{10, 40}, // 4: provides s0
+		{20, 40}, // 5: provides s1
+	}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("s3"),
+		svc.NewCapabilitySet("s2"),
+		svc.NewCapabilitySet("s0"),
+		svc.NewCapabilitySet("s1"),
+	}
+	req := svc.Request{Source: 0, Dest: 1, SG: sg}
+	p, err := FindPath(req, CapabilityProviders(caps), euclidOracle(pts), nil)
+	if err != nil {
+		t.Fatalf("FindPath: %v", err)
+	}
+	got := p.Services()
+	if len(got) != 2 || got[0] != "s3" || got[1] != "s2" {
+		t.Errorf("configuration = %v, want [s3 s2]", got)
+	}
+	if math.Abs(p.DecisionCost-30) > 1e-9 {
+		t.Errorf("cost = %v, want 30", p.DecisionCost)
+	}
+	if err := p.Validate(req, caps); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFindPathNonLinearMatchesPerConfigurationOptimum(t *testing.T) {
+	// The DAG optimum equals the minimum over configurations of the linear
+	// optimum for that configuration.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(8)
+		pts := make([]coords.Point, n)
+		for i := range pts {
+			pts[i] = coords.Point{rng.Float64() * 50, rng.Float64() * 50}
+		}
+		cat, err := svc.NewCatalog(8)
+		if err != nil {
+			return false
+		}
+		caps, err := svc.RandomCapabilities(rng, n, cat, 2, 5)
+		if err != nil {
+			return false
+		}
+		req, err := svc.RandomDAGRequest(rng, cat, n, 2, 1, 2)
+		if err != nil {
+			return false
+		}
+		oracle := euclidOracle(pts)
+		provs := CapabilityProviders(caps)
+		p, err := FindPath(req, provs, oracle, nil)
+		if errors.Is(err, ErrNoProviders) {
+			return true // randomly undeployed service; nothing to check
+		}
+		if err != nil {
+			return false
+		}
+		best := math.Inf(1)
+		for _, config := range req.SG.Configurations() {
+			services := req.SG.ServicesOf(config)
+			missing := false
+			for _, s := range services {
+				if len(provs(s)) == 0 {
+					missing = true
+					break
+				}
+			}
+			if missing {
+				continue
+			}
+			lin, err := svc.Linear(services...)
+			if err != nil {
+				return false
+			}
+			sub := svc.Request{Source: req.Source, Dest: req.Dest, SG: lin}
+			c := bruteForceLinear(sub, provs, oracle)
+			if c < best {
+				best = c
+			}
+		}
+		return math.Abs(p.DecisionCost-best) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// recordingExpander inserts a fixed relay between every distinct pair.
+type recordingExpander struct {
+	relay int
+}
+
+func (r recordingExpander) Expand(u, v int) ([]int, error) {
+	if u == r.relay || v == r.relay {
+		return []int{u, v}, nil
+	}
+	return []int{u, r.relay, v}, nil
+}
+
+func TestFindPathExpanderInsertsRelays(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {5, 0}, {10, 0}}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("x"),
+		svc.NewCapabilitySet(),
+	}
+	req := svc.Request{Source: 0, Dest: 2, SG: mustLinear(t, "x")}
+	p, err := FindPath(req, CapabilityProviders(caps), euclidOracle(pts), recordingExpander{relay: 1})
+	if err != nil {
+		t.Fatalf("FindPath: %v", err)
+	}
+	// 0 → x/1 → 2 with no extra relay (1 is adjacent to the relay itself).
+	if p.NumRelays() != 0 {
+		t.Errorf("relays = %d, want 0: %v", p.NumRelays(), p)
+	}
+	// Now force relays by moving the provider.
+	caps2 := []svc.CapabilitySet{
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("x"),
+	}
+	pts2 := append(pts, coords.Point{5, 5})
+	req2 := svc.Request{Source: 0, Dest: 2, SG: mustLinear(t, "x")}
+	p2, err := FindPath(req2, CapabilityProviders(caps2), euclidOracle(pts2), recordingExpander{relay: 1})
+	if err != nil {
+		t.Fatalf("FindPath: %v", err)
+	}
+	// 0 →(relay 1)→ x/3 →(relay 1)→ 2.
+	if p2.NumRelays() != 2 {
+		t.Errorf("relays = %d, want 2: %v", p2.NumRelays(), p2)
+	}
+	if err := p2.Validate(req2, caps2); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+type badExpander struct{}
+
+func (badExpander) Expand(u, v int) ([]int, error) { return []int{v, u}, nil }
+
+func TestFindPathRejectsBadExpander(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {5, 0}, {10, 0}}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("x"),
+		svc.NewCapabilitySet(),
+	}
+	req := svc.Request{Source: 0, Dest: 2, SG: mustLinear(t, "x")}
+	if _, err := FindPath(req, CapabilityProviders(caps), euclidOracle(pts), badExpander{}); err == nil {
+		t.Error("invalid expander output accepted")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := &Path{Hops: []Hop{{Node: 0}, {Node: 3, Service: "a"}, {Node: 5}, {Node: 7, Service: "b"}, {Node: 9}}}
+	nodes := p.Nodes()
+	if len(nodes) != 5 || nodes[2] != 5 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if s := p.Services(); len(s) != 2 || s[0] != "a" || s[1] != "b" {
+		t.Errorf("Services = %v", s)
+	}
+	if p.NumRelays() != 1 {
+		t.Errorf("NumRelays = %d, want 1", p.NumRelays())
+	}
+	if got := p.String(); got != "<-/0, a/3, -/5, b/7, -/9>" {
+		t.Errorf("String = %q", got)
+	}
+	unit := func(u, v int) float64 { return 1 }
+	if l := p.Length(unit); l != 4 {
+		t.Errorf("Length = %v, want 4", l)
+	}
+}
+
+func TestPathValidateCatchesLies(t *testing.T) {
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet(),
+		svc.NewCapabilitySet("x"),
+		svc.NewCapabilitySet(),
+	}
+	req := svc.Request{Source: 0, Dest: 2, SG: mustLinear(t, "x")}
+	good := &Path{Hops: []Hop{{Node: 0}, {Node: 1, Service: "x"}, {Node: 2}}}
+	if err := good.Validate(req, caps); err != nil {
+		t.Errorf("good path rejected: %v", err)
+	}
+	cases := []*Path{
+		{},
+		{Hops: []Hop{{Node: 1}, {Node: 1, Service: "x"}, {Node: 2}}},                          // wrong source
+		{Hops: []Hop{{Node: 0}, {Node: 1, Service: "x"}, {Node: 1}}},                          // wrong dest
+		{Hops: []Hop{{Node: 0}, {Node: 2, Service: "x"}, {Node: 2}}},                          // node lacks service
+		{Hops: []Hop{{Node: 0}, {Node: 2}}},                                                   // no services performed
+		{Hops: []Hop{{Node: 0}, {Node: 99, Service: "x"}, {Node: 2}}},                         // out of range
+		{Hops: []Hop{{Node: 0}, {Node: 1, Service: "x"}, {Node: 1, Service: "x"}, {Node: 2}}}, // service twice
+	}
+	for i, p := range cases {
+		if err := p.Validate(req, caps); err == nil {
+			t.Errorf("bad path %d accepted: %v", i, p)
+		}
+	}
+}

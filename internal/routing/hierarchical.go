@@ -1,0 +1,583 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hfc/internal/hfc"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// RelaxMode selects how the cluster-level shortest-path search accounts for
+// distances inside intermediate clusters (§5.1 step 2).
+type RelaxMode int
+
+// Relaxation modes. Enums start at one so the zero value is invalid.
+const (
+	// RelaxBacktrack is the paper's modified DAG-shortest-paths: each
+	// label remembers the border proxy through which the path entered its
+	// cluster, and relaxing an outgoing external edge adds the internal
+	// entry-border→exit-border distance (a lower bound on the eventual
+	// intra-cluster path) before the external link length.
+	RelaxBacktrack RelaxMode = iota + 1
+	// RelaxExact expands the search state to (service, cluster, entry
+	// border), which optimizes the same lower-bound objective exactly
+	// instead of greedily; used by ablation A3.
+	RelaxExact
+	// RelaxExternalOnly is the unmodified DAG-shortest-paths the paper
+	// argues against: only external link lengths count, so the two
+	// candidate paths of the worked example tie at 45.
+	RelaxExternalOnly
+)
+
+// String returns a short label for the mode.
+func (m RelaxMode) String() string {
+	switch m {
+	case RelaxBacktrack:
+		return "backtrack"
+	case RelaxExact:
+		return "exact"
+	case RelaxExternalOnly:
+		return "external-only"
+	default:
+		return fmt.Sprintf("RelaxMode(%d)", int(m))
+	}
+}
+
+// CSPEntry is one element of a Cluster-level Service Path: a service-graph
+// vertex mapped to the cluster that will provide it.
+type CSPEntry struct {
+	// SGVertex indexes the request's service-graph Services.
+	SGVertex int
+	// Cluster is the cluster ID the service is mapped to.
+	Cluster int
+}
+
+// ChildRequest is one piece of a dissected request (§5.1 step 3): a run of
+// consecutive services mapped to the same cluster, with intra-cluster
+// source and destination proxies (border proxies, except at the original
+// endpoints). Services may be empty when the cluster only relays between
+// its borders.
+type ChildRequest struct {
+	// Cluster is the cluster that must resolve this child.
+	Cluster int
+	// Source and Dest are overlay nodes inside Cluster.
+	Source, Dest int
+	// Services is the linear run of services to place, in order.
+	Services []svc.Service
+	// Resolver is the proxy responsible for computing the child path —
+	// the child's destination proxy, matching the paper's convention that
+	// a request is resolved by its destination.
+	Resolver int
+}
+
+// IntraSolver resolves a child request inside one cluster using only that
+// cluster's full local state (SCT_P plus member coordinates). In the
+// in-process simulation it is a direct call; in package overlay it is an
+// RPC to the child's resolver proxy.
+type IntraSolver interface {
+	SolveChild(child ChildRequest) (*Path, error)
+}
+
+// HierarchicalRouter performs §5 service routing at a destination proxy,
+// using only knowledge that proxy legitimately has: its Fig. 4 topology
+// view, its converged SCT_C/SCT_P, and the ability to query the source
+// proxy for its cluster ID.
+type HierarchicalRouter struct {
+	// View is the destination proxy's topology view.
+	View *hfc.NodeView
+	// State is the destination proxy's converged routing state.
+	State *state.NodeState
+	// Intra resolves child requests.
+	Intra IntraSolver
+	// ClusterOfSource answers "which cluster is proxy p in?" — the query
+	// pd sends to the source proxy (§5.1 step 1).
+	ClusterOfSource func(node int) int
+	// Mode selects the cluster-level relaxation (default RelaxBacktrack).
+	Mode RelaxMode
+	// ClusterAdmissible, when non-nil, restricts which clusters may host a
+	// service at the cluster level — the hook the QoS extension uses to
+	// enforce aggregated machine-load constraints (§7 future work).
+	ClusterAdmissible func(s svc.Service, cluster int) bool
+	// CrossingAdmissible, when non-nil, restricts which external links the
+	// cluster-level path may use — the QoS hook for aggregated bandwidth
+	// constraints.
+	CrossingAdmissible func(from, to int) bool
+}
+
+// Result carries the outcome of a hierarchical routing step, including the
+// intermediate artifacts the paper's Fig. 7 walks through.
+type Result struct {
+	// CSP is the cluster-level service path chosen in step 2.
+	CSP []CSPEntry
+	// CSPCost is the CSP's lower-bound cost (external links + known
+	// internal border distances).
+	CSPCost float64
+	// Children are the dissected child requests of step 3.
+	Children []ChildRequest
+	// ChildPaths are the resolved child paths, aligned with Children.
+	ChildPaths []*Path
+	// Path is the composed final service path (step 4).
+	Path *Path
+}
+
+// Route runs the full §5 procedure for req.
+func (r *HierarchicalRouter) Route(req svc.Request) (*Result, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	if err := req.SG.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Dest != r.View.Node {
+		return nil, fmt.Errorf("routing: request destination %d is not this proxy %d", req.Dest, r.View.Node)
+	}
+	srcCluster := r.ClusterOfSource(req.Source)
+	destCluster := r.View.ClusterID
+
+	csp, cost, err := r.clusterLevelPath(req, srcCluster, destCluster)
+	if err != nil {
+		return nil, err
+	}
+	children, err := r.dissect(req, csp, srcCluster, destCluster)
+	if err != nil {
+		return nil, err
+	}
+	childPaths := make([]*Path, len(children))
+	for i, child := range children {
+		p, err := r.Intra.SolveChild(child)
+		if err != nil {
+			return nil, fmt.Errorf("routing: child %d (cluster %d): %w", i, child.Cluster, err)
+		}
+		childPaths[i] = p
+	}
+	final, err := compose(children, childPaths, r.View)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		CSP:        csp,
+		CSPCost:    cost,
+		Children:   children,
+		ChildPaths: childPaths,
+		Path:       final,
+	}, nil
+}
+
+func (r *HierarchicalRouter) validate() error {
+	switch {
+	case r.View == nil:
+		return errors.New("routing: hierarchical router has nil view")
+	case r.State == nil:
+		return errors.New("routing: hierarchical router has nil state")
+	case r.Intra == nil:
+		return errors.New("routing: hierarchical router has nil intra-cluster solver")
+	case r.ClusterOfSource == nil:
+		return errors.New("routing: hierarchical router has nil source-cluster query")
+	}
+	switch r.Mode {
+	case 0, RelaxBacktrack, RelaxExact, RelaxExternalOnly:
+	default:
+		return fmt.Errorf("routing: unknown relax mode %d", int(r.Mode))
+	}
+	return nil
+}
+
+func (r *HierarchicalRouter) mode() RelaxMode {
+	if r.Mode == 0 {
+		return RelaxBacktrack
+	}
+	return r.Mode
+}
+
+// label is the cluster-level search state for one (SG vertex, cluster)
+// pair (Backtrack/ExternalOnly modes) or one (SG vertex, cluster, entry)
+// triple (Exact mode).
+type label struct {
+	dist float64
+	// entry is the border proxy through which the path entered the
+	// cluster, or -1 when the path has been inside this cluster since the
+	// source proxy (internal offset unknown to pd, counted as 0).
+	entry int
+	// parent identifies the predecessor label for reconstruction.
+	parentV int // SG vertex, -1 for virtual source
+	parentC int // cluster
+	parentE int // entry border of predecessor (Exact mode), else -1
+}
+
+// clusterLevelPath maps the request onto clusters (§5.1 steps 1–2).
+func (r *HierarchicalRouter) clusterLevelPath(req svc.Request, srcCluster, destCluster int) ([]CSPEntry, float64, error) {
+	sg := req.SG
+	nv := sg.Len()
+
+	// Candidate clusters per SG vertex, from SCT_C (optionally narrowed by
+	// the QoS admissibility hook).
+	cands := make([][]int, nv)
+	for v := 0; v < nv; v++ {
+		all := r.State.ClustersProviding(sg.Services[v])
+		if r.ClusterAdmissible != nil {
+			kept := all[:0]
+			for _, c := range all {
+				if r.ClusterAdmissible(sg.Services[v], c) {
+					kept = append(kept, c)
+				}
+			}
+			all = kept
+		}
+		cands[v] = all
+		if len(cands[v]) == 0 {
+			return nil, 0, fmt.Errorf("routing: service %q: %w", sg.Services[v], ErrNoProviders)
+		}
+	}
+	crossingOK := func(a, b int) bool {
+		return r.CrossingAdmissible == nil || r.CrossingAdmissible(a, b)
+	}
+
+	order, err := sgTopoOrder(sg)
+	if err != nil {
+		return nil, 0, err
+	}
+	edgesByTail := make([][]int, nv)
+	for _, e := range sg.Edges {
+		edgesByTail[e[0]] = append(edgesByTail[e[0]], e[1])
+	}
+
+	exact := r.mode() == RelaxExact
+	// Labels: per (vertex, cluster) in greedy modes; per (vertex, cluster,
+	// entry) in exact mode. Entry index -1 is encoded as key k (one past
+	// the last cluster... entries are node IDs, so use a map).
+	type key struct {
+		v, c, e int
+	}
+	labels := make(map[key]label)
+	betterOf := func(k key, cand label) bool {
+		old, ok := labels[k]
+		if !ok || cand.dist < old.dist {
+			labels[k] = cand
+			return true
+		}
+		return false
+	}
+	keyOf := func(v, c, e int) key {
+		if !exact {
+			return key{v, c, 0}
+		}
+		return key{v, c, e}
+	}
+
+	// internalDist returns the distance inside cluster c from the entry
+	// border to the exit border, 0 when the entry is unknown (-1) or they
+	// coincide.
+	internalDist := func(entry, exit int) (float64, error) {
+		if entry == -1 || entry == exit {
+			return 0, nil
+		}
+		if r.mode() == RelaxExternalOnly {
+			return 0, nil
+		}
+		return r.View.Dist(entry, exit)
+	}
+
+	// Initialize SG source vertices.
+	for _, v := range sg.Sources() {
+		for _, c := range cands[v] {
+			var l label
+			l.parentV = -1
+			l.parentC = -1
+			l.parentE = -1
+			if c == srcCluster {
+				l.dist = 0
+				l.entry = -1
+			} else {
+				if !crossingOK(srcCluster, c) {
+					continue
+				}
+				ext, err := r.externalLink(srcCluster, c)
+				if err != nil {
+					return nil, 0, err
+				}
+				l.dist = ext
+				_, inC, err := r.View.Border(srcCluster, c)
+				if err != nil {
+					return nil, 0, err
+				}
+				l.entry = inC
+			}
+			betterOf(keyOf(v, c, l.entry), l)
+		}
+	}
+
+	// Relax SG edges in topological order.
+	for _, u := range order {
+		for _, c := range cands[u] {
+			// Collect the labels at (u, c): one in greedy modes, possibly
+			// several in exact mode.
+			var uLabels []label
+			if exact {
+				entries := append([]int{-1}, r.clusterBorders(c)...)
+				for _, e := range entries {
+					if l, ok := labels[key{u, c, e}]; ok {
+						uLabels = append(uLabels, l)
+					}
+				}
+			} else if l, ok := labels[key{u, c, 0}]; ok {
+				uLabels = append(uLabels, l)
+			}
+			for _, ul := range uLabels {
+				for _, v := range edgesByTail[u] {
+					for _, c2 := range cands[v] {
+						nl := label{parentV: u, parentC: c, parentE: ul.entry}
+						if c2 == c {
+							nl.dist = ul.dist
+							nl.entry = ul.entry
+						} else {
+							if !crossingOK(c, c2) {
+								continue
+							}
+							exitB, inC2, err := r.View.Border(c, c2)
+							if err != nil {
+								return nil, 0, err
+							}
+							internal, err := internalDist(ul.entry, exitB)
+							if err != nil {
+								return nil, 0, err
+							}
+							ext, err := r.externalLink(c, c2)
+							if err != nil {
+								return nil, 0, err
+							}
+							nl.dist = ul.dist + internal + ext
+							nl.entry = inC2
+						}
+						betterOf(keyOf(v, c2, nl.entry), nl)
+					}
+				}
+			}
+		}
+	}
+
+	// Terminate at the destination proxy.
+	best := label{dist: math.Inf(1)}
+	bestV, bestC, bestE := -1, -1, -1
+	consider := func(v, c int, l label) error {
+		total := l.dist
+		if c == destCluster {
+			tail, err := internalDist(l.entry, r.View.Node)
+			if err != nil {
+				return err
+			}
+			total += tail
+		} else {
+			if !crossingOK(c, destCluster) {
+				return nil
+			}
+			exitB, inDest, err := r.View.Border(c, destCluster)
+			if err != nil {
+				return err
+			}
+			internal, err := internalDist(l.entry, exitB)
+			if err != nil {
+				return err
+			}
+			ext, err := r.externalLink(c, destCluster)
+			if err != nil {
+				return err
+			}
+			tail := 0.0
+			if r.mode() != RelaxExternalOnly && inDest != r.View.Node {
+				tail, err = r.View.Dist(inDest, r.View.Node)
+				if err != nil {
+					return err
+				}
+			}
+			total += internal + ext + tail
+		}
+		if total < best.dist {
+			best = label{dist: total, entry: l.entry, parentV: l.parentV, parentC: l.parentC, parentE: l.parentE}
+			bestV, bestC, bestE = v, c, l.entry
+		}
+		return nil
+	}
+	for _, v := range sg.Sinks() {
+		for _, c := range cands[v] {
+			if exact {
+				entries := append([]int{-1}, r.clusterBorders(c)...)
+				for _, e := range entries {
+					if l, ok := labels[key{v, c, e}]; ok {
+						if err := consider(v, c, l); err != nil {
+							return nil, 0, err
+						}
+					}
+				}
+			} else if l, ok := labels[key{v, c, 0}]; ok {
+				if err := consider(v, c, l); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	if bestV == -1 {
+		return nil, 0, ErrInfeasible
+	}
+
+	// Reconstruct the CSP.
+	var rev []CSPEntry
+	v, c, e := bestV, bestC, bestE
+	for v != -1 {
+		rev = append(rev, CSPEntry{SGVertex: v, Cluster: c})
+		l, ok := labels[keyOf(v, c, e)]
+		if !ok {
+			return nil, 0, fmt.Errorf("routing: internal error: missing label (%d,%d,%d) during CSP reconstruction", v, c, e)
+		}
+		v, c, e = l.parentV, l.parentC, l.parentE
+	}
+	csp := make([]CSPEntry, len(rev))
+	for i := range rev {
+		csp[i] = rev[len(rev)-1-i]
+	}
+	return csp, best.dist, nil
+}
+
+// clusterBorders lists the border proxies of cluster c visible in the view,
+// sorted for determinism.
+func (r *HierarchicalRouter) clusterBorders(c int) []int {
+	seen := make(map[int]bool)
+	for pair := range r.View.Borders {
+		var other int
+		switch c {
+		case pair[0]:
+			other = pair[1]
+		case pair[1]:
+			other = pair[0]
+		default:
+			continue
+		}
+		inC, _, err := r.View.Border(c, other)
+		if err != nil {
+			continue
+		}
+		seen[inC] = true
+	}
+	out := make([]int, 0, len(seen))
+	for node := range seen {
+		out = append(out, node)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// externalLink returns the embedded length of the external link between two
+// distinct clusters, from the view's border coordinates.
+func (r *HierarchicalRouter) externalLink(a, b int) (float64, error) {
+	u, v, err := r.View.Border(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return r.View.Dist(u, v)
+}
+
+// dissect splits the original request along the CSP into per-cluster child
+// requests (§5.1 step 3).
+func (r *HierarchicalRouter) dissect(req svc.Request, csp []CSPEntry, srcCluster, destCluster int) ([]ChildRequest, error) {
+	type run struct {
+		cluster  int
+		services []svc.Service
+	}
+	runs := []run{{cluster: srcCluster}}
+	for _, e := range csp {
+		cur := &runs[len(runs)-1]
+		if e.Cluster == cur.cluster {
+			cur.services = append(cur.services, req.SG.Services[e.SGVertex])
+			continue
+		}
+		runs = append(runs, run{cluster: e.Cluster, services: []svc.Service{req.SG.Services[e.SGVertex]}})
+	}
+	if runs[len(runs)-1].cluster != destCluster {
+		runs = append(runs, run{cluster: destCluster})
+	}
+
+	children := make([]ChildRequest, len(runs))
+	for i, ru := range runs {
+		child := ChildRequest{Cluster: ru.cluster, Services: ru.services}
+		if i == 0 {
+			child.Source = req.Source
+		} else {
+			src, _, err := r.View.Border(ru.cluster, runs[i-1].cluster)
+			if err != nil {
+				return nil, err
+			}
+			child.Source = src
+		}
+		if i == len(runs)-1 {
+			child.Dest = req.Dest
+		} else {
+			dst, _, err := r.View.Border(ru.cluster, runs[i+1].cluster)
+			if err != nil {
+				return nil, err
+			}
+			child.Dest = dst
+		}
+		child.Resolver = child.Dest
+		children[i] = child
+	}
+	return children, nil
+}
+
+// compose concatenates resolved child paths into the final service path
+// (§5.1 step 4). Consecutive children sit in different clusters; the
+// external link between their border proxies is implicit in hop adjacency.
+func compose(children []ChildRequest, childPaths []*Path, view *hfc.NodeView) (*Path, error) {
+	if len(children) != len(childPaths) {
+		return nil, fmt.Errorf("routing: %d children but %d child paths", len(children), len(childPaths))
+	}
+	var hops []Hop
+	cost := 0.0
+	for i, p := range childPaths {
+		if p == nil || len(p.Hops) == 0 {
+			return nil, fmt.Errorf("routing: child %d returned an empty path", i)
+		}
+		if p.Hops[0].Node != children[i].Source || p.Hops[len(p.Hops)-1].Node != children[i].Dest {
+			return nil, fmt.Errorf("routing: child %d path %v does not span %d..%d", i, p, children[i].Source, children[i].Dest)
+		}
+		hops = append(hops, p.Hops...)
+		cost += p.DecisionCost
+		if i+1 < len(childPaths) {
+			ext, err := viewExternal(view, children[i].Cluster, children[i+1].Cluster)
+			if err != nil {
+				return nil, err
+			}
+			cost += ext
+		}
+	}
+	return &Path{Hops: compactHops(hops), DecisionCost: cost}, nil
+}
+
+func viewExternal(view *hfc.NodeView, a, b int) (float64, error) {
+	u, v, err := view.Border(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return view.Dist(u, v)
+}
+
+// compactHops removes serviceless hops that duplicate an adjacent hop's
+// node (artifacts of child-path concatenation); the endpoints' nodes are
+// always preserved because their neighbours share the node.
+func compactHops(hops []Hop) []Hop {
+	out := make([]Hop, 0, len(hops))
+	for i, h := range hops {
+		if h.Service == "" {
+			if len(out) > 0 && out[len(out)-1].Node == h.Node {
+				continue
+			}
+			if i+1 < len(hops) && hops[i+1].Node == h.Node {
+				continue
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}

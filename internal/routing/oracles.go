@@ -1,0 +1,38 @@
+package routing
+
+import (
+	"hfc/internal/hfc"
+)
+
+// ExpanderFunc adapts a function to the Expander interface.
+type ExpanderFunc func(u, v int) ([]int, error)
+
+// Expand implements Expander.
+func (f ExpanderFunc) Expand(u, v int) ([]int, error) { return f(u, v) }
+
+// HFCMetric is the distance metric and relay structure the HFC topology
+// imposes (§3 connectivity): nodes within a cluster communicate directly at
+// their embedded distance; nodes in different clusters communicate through
+// the fixed border-proxy pair of their clusters. It is the oracle for the
+// "HFC without state aggregation" baseline of §6.2, where every proxy has
+// full (coordinate) state but the topology is still HFC.
+type HFCMetric struct {
+	T *hfc.Topology
+}
+
+// Dist implements Oracle: the length of the overlay hop path from u to v.
+func (m HFCMetric) Dist(u, v int) float64 { return m.T.ConstrainedDist(u, v) }
+
+// Expand implements Expander with the border-proxy relay sequence.
+func (m HFCMetric) Expand(u, v int) ([]int, error) { return m.T.OverlayHopPath(u, v) }
+
+// FullMetric is the unconstrained embedded metric: every pair of overlay
+// nodes communicates directly. It models the idealized fully connected
+// overlay the paper argues large networks cannot afford but small clusters
+// can (§3), and serves as the lower-bound reference in the experiments.
+type FullMetric struct {
+	T *hfc.Topology
+}
+
+// Dist implements Oracle.
+func (m FullMetric) Dist(u, v int) float64 { return m.T.Dist(u, v) }

@@ -1,0 +1,326 @@
+package routing
+
+// This file reproduces the paper's worked example (§5, Figures 6–8): a
+// 13-proxy, 4-cluster HFC overlay, the request
+//
+//	C0.2  →  S1 → S2 → S3 → S4 → S5  →  C2.1
+//
+// and checks every intermediate artifact the paper walks through: the
+// cluster-level service path (Fig. 7c), the dissected child requests
+// (Fig. 7d), each child service path (Fig. 8), and the composed final path
+// (Fig. 7e). The coordinates below realize the example's structure (the
+// same border pairs, service placement, and optimal choices); absolute
+// distances differ from the figure's labels, which a 2-D embedding cannot
+// all realize simultaneously.
+
+import (
+	"math"
+	"testing"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/hfc"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// Node indices for readability.
+const (
+	c00 = iota // C0.0
+	c01        // C0.1
+	c02        // C0.2 (source)
+	c03        // C0.3
+	c10        // C1.0
+	c11        // C1.1
+	c12        // C1.2
+	c13        // C1.3
+	c20        // C2.0
+	c21        // C2.1 (destination)
+	c22        // C2.2
+	c30        // C3.0
+	c31        // C3.1
+)
+
+func paperExample(t *testing.T) (*hfc.Topology, []svc.CapabilitySet, []state.NodeState) {
+	t.Helper()
+	pts := []coords.Point{
+		{0, 0},    // C0.0
+		{2, 2},    // C0.1
+		{-1, 1},   // C0.2
+		{-2, -1},  // C0.3
+		{20, 2},   // C1.0
+		{23, 1},   // C1.1
+		{25, 0},   // C1.2
+		{22, 4},   // C1.3
+		{45, 0},   // C2.0
+		{47, 1},   // C2.1
+		{46, -2},  // C2.2
+		{18, -30}, // C3.0
+		{14, -34}, // C3.1
+	}
+	assignment := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 3}
+	clusters := [][]int{{c00, c01, c02, c03}, {c10, c11, c12, c13}, {c20, c21, c22}, {c30, c31}}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	topo, err := hfc.Build(cmap, &cluster.Result{Assignment: assignment, Clusters: clusters})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Fig. 6 service placement.
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet("S1"),       // C0.0
+		svc.NewCapabilitySet("S4"),       // C0.1
+		svc.NewCapabilitySet("S4"),       // C0.2
+		svc.NewCapabilitySet("S1"),       // C0.3
+		svc.NewCapabilitySet("S2"),       // C1.0
+		svc.NewCapabilitySet("S3", "S4"), // C1.1
+		svc.NewCapabilitySet("S3"),       // C1.2
+		svc.NewCapabilitySet("S2", "S4"), // C1.3
+		svc.NewCapabilitySet("S5"),       // C2.0
+		svc.NewCapabilitySet("S2"),       // C2.1
+		svc.NewCapabilitySet("S5"),       // C2.2
+		svc.NewCapabilitySet("S4"),       // C3.0
+		svc.NewCapabilitySet("S1", "S4"), // C3.1
+	}
+	states, _, err := state.Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	if err := state.VerifyConvergence(topo, caps, states); err != nil {
+		t.Fatalf("VerifyConvergence: %v", err)
+	}
+	return topo, caps, states
+}
+
+func paperRequest(t *testing.T) svc.Request {
+	t.Helper()
+	sg, err := svc.Linear("S1", "S2", "S3", "S4", "S5")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	return svc.Request{Source: c02, Dest: c21, SG: sg}
+}
+
+func TestPaperExampleBorderPairs(t *testing.T) {
+	topo, _, _ := paperExample(t)
+	// The geometry realizes the example's key border pairs.
+	cases := []struct {
+		a, b       int
+		inA, inB   int
+		descriptor string
+	}{
+		{0, 1, c01, c10, "(C0,C1) = (C0.1, C1.0)"},
+		{1, 2, c12, c20, "(C1,C2) = (C1.2, C2.0)"},
+		{0, 3, c00, c30, "(C0,C3) = (C0.0, C3.0)"},
+		{2, 3, c22, c30, "(C2,C3) = (C2.2, C3.0)"},
+	}
+	for _, c := range cases {
+		u, v, err := topo.Border(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Border(%d,%d): %v", c.a, c.b, err)
+		}
+		if u != c.inA || v != c.inB {
+			t.Errorf("border %s: got (%d,%d)", c.descriptor, u, v)
+		}
+	}
+}
+
+func TestPaperExampleAggregates(t *testing.T) {
+	_, _, states := paperExample(t)
+	// Fig. 7(a): the aggregate state perceived at C2.1.
+	pd := &states[c21]
+	want := map[int]svc.CapabilitySet{
+		0: svc.NewCapabilitySet("S1", "S4"),
+		1: svc.NewCapabilitySet("S2", "S3", "S4"),
+		2: svc.NewCapabilitySet("S2", "S5"),
+		3: svc.NewCapabilitySet("S1", "S4"),
+	}
+	for c, set := range want {
+		if !pd.SCTC[c].Equal(set) {
+			t.Errorf("SCT_C[%d] = %v, want %v", c, pd.SCTC[c], set)
+		}
+	}
+}
+
+func TestPaperExampleCSP(t *testing.T) {
+	topo, _, states := paperExample(t)
+	r, err := NewHierarchicalRouter(topo, states, c21, RelaxBacktrack)
+	if err != nil {
+		t.Fatalf("NewHierarchicalRouter: %v", err)
+	}
+	res, err := r.Route(paperRequest(t))
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	// Fig. 7(c) bold path: S1/C0 → S2/C1 → S3/C1 → S4/C1 → S5/C2.
+	wantClusters := []int{0, 1, 1, 1, 2}
+	if len(res.CSP) != len(wantClusters) {
+		t.Fatalf("CSP = %v, want 5 entries", res.CSP)
+	}
+	for i, e := range res.CSP {
+		if e.SGVertex != i || e.Cluster != wantClusters[i] {
+			t.Errorf("CSP[%d] = %+v, want service %d in cluster %d", i, e, i, wantClusters[i])
+		}
+	}
+}
+
+func TestPaperExampleChildRequests(t *testing.T) {
+	topo, _, states := paperExample(t)
+	r, err := NewHierarchicalRouter(topo, states, c21, RelaxBacktrack)
+	if err != nil {
+		t.Fatalf("NewHierarchicalRouter: %v", err)
+	}
+	res, err := r.Route(paperRequest(t))
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	// Fig. 7(d): three child requests.
+	if len(res.Children) != 3 {
+		t.Fatalf("children = %+v, want 3", res.Children)
+	}
+	want := []ChildRequest{
+		{Cluster: 0, Source: c02, Dest: c01, Services: []svc.Service{"S1"}, Resolver: c01},
+		{Cluster: 1, Source: c10, Dest: c12, Services: []svc.Service{"S2", "S3", "S4"}, Resolver: c12},
+		{Cluster: 2, Source: c20, Dest: c21, Services: []svc.Service{"S5"}, Resolver: c21},
+	}
+	for i, w := range want {
+		got := res.Children[i]
+		if got.Cluster != w.Cluster || got.Source != w.Source || got.Dest != w.Dest || got.Resolver != w.Resolver {
+			t.Errorf("child %d = %+v, want %+v", i, got, w)
+		}
+		if len(got.Services) != len(w.Services) {
+			t.Errorf("child %d services = %v, want %v", i, got.Services, w.Services)
+			continue
+		}
+		for j := range w.Services {
+			if got.Services[j] != w.Services[j] {
+				t.Errorf("child %d services = %v, want %v", i, got.Services, w.Services)
+				break
+			}
+		}
+	}
+}
+
+func TestPaperExampleChildPaths(t *testing.T) {
+	topo, _, states := paperExample(t)
+	r, err := NewHierarchicalRouter(topo, states, c21, RelaxBacktrack)
+	if err != nil {
+		t.Fatalf("NewHierarchicalRouter: %v", err)
+	}
+	res, err := r.Route(paperRequest(t))
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	// Fig. 8: child 1 maps S1 onto C0.0 (not C0.3); child 2 maps S2/C1.0,
+	// S3/C1.1, S4/C1.1; child 3 maps S5 onto C2.0 (not C2.2).
+	child1 := res.ChildPaths[0]
+	if s := child1.Services(); len(s) != 1 || s[0] != "S1" {
+		t.Fatalf("child 1 services = %v", s)
+	}
+	if n := serviceNode(child1, "S1"); n != c00 {
+		t.Errorf("S1 mapped to node %d, want C0.0 (%d)", n, c00)
+	}
+	child2 := res.ChildPaths[1]
+	wantMap := map[svc.Service]int{"S2": c10, "S3": c11, "S4": c11}
+	for s, wantNode := range wantMap {
+		if n := serviceNode(child2, s); n != wantNode {
+			t.Errorf("%s mapped to node %d, want %d", s, n, wantNode)
+		}
+	}
+	child3 := res.ChildPaths[2]
+	if n := serviceNode(child3, "S5"); n != c20 {
+		t.Errorf("S5 mapped to node %d, want C2.0 (%d)", n, c20)
+	}
+}
+
+// serviceNode returns the node performing service s in path p, or -1.
+func serviceNode(p *Path, s svc.Service) int {
+	for _, h := range p.Hops {
+		if h.Service == s {
+			return h.Node
+		}
+	}
+	return -1
+}
+
+func TestPaperExampleFinalPath(t *testing.T) {
+	topo, caps, states := paperExample(t)
+	req := paperRequest(t)
+	p, err := RouteHierarchical(topo, states, req, RelaxBacktrack)
+	if err != nil {
+		t.Fatalf("RouteHierarchical: %v", err)
+	}
+	if err := p.Validate(req, caps); err != nil {
+		t.Fatalf("final path invalid: %v", err)
+	}
+	// Fig. 7(e): C0.2, S1/C0.0, -/C0.1, S2/C1.0, S3/C1.1, S4/C1.1, -/C1.2,
+	// S5/C2.0, C2.1. (The leading -/C1.0 and -/C2.0 of the figure collapse
+	// into the service hops on the same nodes.)
+	want := []Hop{
+		{Node: c02},
+		{Node: c00, Service: "S1"},
+		{Node: c01},
+		{Node: c10, Service: "S2"},
+		{Node: c11, Service: "S3"},
+		{Node: c11, Service: "S4"},
+		{Node: c12},
+		{Node: c20, Service: "S5"},
+		{Node: c21},
+	}
+	if len(p.Hops) != len(want) {
+		t.Fatalf("final path = %v, want %d hops", p, len(want))
+	}
+	for i, w := range want {
+		if p.Hops[i] != w {
+			t.Errorf("hop %d = %v, want %v", i, p.Hops[i], w)
+		}
+	}
+	// The decision cost must equal the path length under the embedded
+	// metric.
+	if got := p.Length(topo.Dist); math.Abs(got-p.DecisionCost) > 1e-9 {
+		t.Errorf("DecisionCost = %v but recomputed length = %v", p.DecisionCost, got)
+	}
+}
+
+func TestPaperExampleAllRelaxModesFeasible(t *testing.T) {
+	topo, caps, states := paperExample(t)
+	req := paperRequest(t)
+	for _, mode := range []RelaxMode{RelaxBacktrack, RelaxExact, RelaxExternalOnly} {
+		p, err := RouteHierarchical(topo, states, req, mode)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if err := p.Validate(req, caps); err != nil {
+			t.Errorf("mode %v: invalid path: %v", mode, err)
+		}
+	}
+}
+
+func TestPaperExampleExactNoWorseThanBacktrack(t *testing.T) {
+	topo, _, states := paperExample(t)
+	req := paperRequest(t)
+	rb, err := NewHierarchicalRouter(topo, states, c21, RelaxBacktrack)
+	if err != nil {
+		t.Fatalf("NewHierarchicalRouter: %v", err)
+	}
+	resB, err := rb.Route(req)
+	if err != nil {
+		t.Fatalf("Route backtrack: %v", err)
+	}
+	re, err := NewHierarchicalRouter(topo, states, c21, RelaxExact)
+	if err != nil {
+		t.Fatalf("NewHierarchicalRouter: %v", err)
+	}
+	resE, err := re.Route(req)
+	if err != nil {
+		t.Fatalf("Route exact: %v", err)
+	}
+	if resE.CSPCost > resB.CSPCost+1e-9 {
+		t.Errorf("exact CSP cost %v worse than backtrack %v", resE.CSPCost, resB.CSPCost)
+	}
+}

@@ -1,0 +1,157 @@
+// Package routing implements service routing — the mapping of a service
+// request (source proxy + service graph + destination proxy) onto a
+// delay-efficient service path. It contains both layers of the paper:
+//
+//   - the flat, global-view optimal algorithm of the authors' earlier work
+//     [11]: map the service topology and request into a service DAG so that
+//     a classical shortest-paths algorithm finds an optimal service path
+//     (FindPath), usable over any distance oracle (full connectivity, mesh,
+//     or HFC-constrained); and
+//   - the hierarchical divide-and-conquer procedure of §5: the destination
+//     proxy computes a Cluster-level Service Path over aggregate state,
+//     dissects it into per-cluster child requests, has each cluster resolve
+//     its child intra-cluster, and composes the final concrete path
+//     (HierarchicalRouter).
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hfc/internal/svc"
+)
+
+// Hop is one entry of a concrete service path sp = ⟨−/p0, s1/p1, …, sn/pn,
+// −/pn+1⟩ (§2.2): an overlay node plus the service it performs, or no
+// service when the node merely relays the stream.
+type Hop struct {
+	// Node is the overlay node index.
+	Node int
+	// Service is the service performed at this hop, or "" for a pure
+	// relay (including the source and destination endpoints).
+	Service svc.Service
+}
+
+// String renders the hop in the paper's s/p notation.
+func (h Hop) String() string {
+	if h.Service == "" {
+		return fmt.Sprintf("-/%d", h.Node)
+	}
+	return fmt.Sprintf("%s/%d", h.Service, h.Node)
+}
+
+// Path is a concrete service path.
+type Path struct {
+	// Hops is the full hop sequence, starting at the source proxy and
+	// ending at the destination proxy. Consecutive hops may share a node
+	// (several services executed on the same proxy).
+	Hops []Hop
+	// DecisionCost is the path cost under the metric the routing scheme
+	// used to make its decisions (embedded coordinate distances for every
+	// scheme in this reproduction). Evaluate with Length to measure a
+	// path under a different metric, e.g. true network latency.
+	DecisionCost float64
+}
+
+// String renders the path in the paper's notation.
+func (p *Path) String() string {
+	parts := make([]string, len(p.Hops))
+	for i, h := range p.Hops {
+		parts[i] = h.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Nodes returns the hop node sequence.
+func (p *Path) Nodes() []int {
+	out := make([]int, len(p.Hops))
+	for i, h := range p.Hops {
+		out[i] = h.Node
+	}
+	return out
+}
+
+// Services returns the performed services in path order (relays skipped).
+func (p *Path) Services() []svc.Service {
+	var out []svc.Service
+	for _, h := range p.Hops {
+		if h.Service != "" {
+			out = append(out, h.Service)
+		}
+	}
+	return out
+}
+
+// NumRelays counts pure-relay hops, excluding the two endpoints.
+func (p *Path) NumRelays() int {
+	count := 0
+	for i, h := range p.Hops {
+		if i == 0 || i == len(p.Hops)-1 {
+			continue
+		}
+		if h.Service == "" {
+			count++
+		}
+	}
+	return count
+}
+
+// Length evaluates the path under an arbitrary metric: the sum of dist over
+// consecutive hop pairs (zero-cost when consecutive services run on the
+// same node). Passing true network latency here measures the path the way
+// Fig. 10 does.
+func (p *Path) Length(dist func(u, v int) float64) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(p.Hops); i++ {
+		u, v := p.Hops[i].Node, p.Hops[i+1].Node
+		if u != v {
+			total += dist(u, v)
+		}
+	}
+	return total
+}
+
+// Validate checks that the path is a correct answer to req given the true
+// capability assignment caps: endpoints match, every service hop runs on a
+// proxy that actually has the service, and the performed service sequence
+// is a feasible configuration of the request's service graph.
+func (p *Path) Validate(req svc.Request, caps []svc.CapabilitySet) error {
+	if len(p.Hops) == 0 {
+		return errors.New("routing: empty path")
+	}
+	if p.Hops[0].Node != req.Source {
+		return fmt.Errorf("routing: path starts at %d, want source %d", p.Hops[0].Node, req.Source)
+	}
+	if p.Hops[len(p.Hops)-1].Node != req.Dest {
+		return fmt.Errorf("routing: path ends at %d, want destination %d", p.Hops[len(p.Hops)-1].Node, req.Dest)
+	}
+	for _, h := range p.Hops {
+		if h.Node < 0 || h.Node >= len(caps) {
+			return fmt.Errorf("routing: hop node %d out of range [0,%d)", h.Node, len(caps))
+		}
+		if h.Service != "" && !caps[h.Node].Has(h.Service) {
+			return fmt.Errorf("routing: proxy %d does not provide service %q", h.Node, h.Service)
+		}
+	}
+	performed := p.Services()
+	for _, config := range req.SG.Configurations() {
+		want := req.SG.ServicesOf(config)
+		if serviceSeqEqual(performed, want) {
+			return nil
+		}
+	}
+	return fmt.Errorf("routing: performed services %v match no feasible configuration of %v", performed, req.SG)
+}
+
+func serviceSeqEqual(a, b []svc.Service) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"hfc/internal/hfc"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// LocalIntraSolver resolves child requests by direct computation (§5.2),
+// using only the knowledge the child's resolver proxy legitimately holds:
+// its SCT_P for providers and its own-cluster member coordinates for
+// distances. Inside a cluster the HFC topology is fully connected, so the
+// flat algorithm of [11] returns the optimal intra-cluster mapping.
+type LocalIntraSolver struct {
+	// Topo supplies membership and intra-cluster distances.
+	Topo *hfc.Topology
+	// States holds the converged per-node routing state; the resolver's
+	// SCT_P supplies the provider lists.
+	States []state.NodeState
+}
+
+var _ IntraSolver = (*LocalIntraSolver)(nil)
+
+// SolveChild implements IntraSolver.
+func (s *LocalIntraSolver) SolveChild(child ChildRequest) (*Path, error) {
+	if s.Topo == nil {
+		return nil, errors.New("routing: intra solver has nil topology")
+	}
+	if len(s.States) != s.Topo.N() {
+		return nil, fmt.Errorf("routing: intra solver has %d states for %d nodes", len(s.States), s.Topo.N())
+	}
+	if s.Topo.ClusterOf(child.Source) != child.Cluster {
+		return nil, fmt.Errorf("routing: child source %d not in cluster %d", child.Source, child.Cluster)
+	}
+	if s.Topo.ClusterOf(child.Dest) != child.Cluster {
+		return nil, fmt.Errorf("routing: child destination %d not in cluster %d", child.Dest, child.Cluster)
+	}
+	if s.Topo.ClusterOf(child.Resolver) != child.Cluster {
+		return nil, fmt.Errorf("routing: child resolver %d not in cluster %d", child.Resolver, child.Cluster)
+	}
+
+	// A relay-only child: the cluster just carries the stream between its
+	// borders (or an endpoint and a border).
+	if len(child.Services) == 0 {
+		if child.Source == child.Dest {
+			return &Path{Hops: []Hop{{Node: child.Source}}}, nil
+		}
+		return &Path{
+			Hops:         []Hop{{Node: child.Source}, {Node: child.Dest}},
+			DecisionCost: s.Topo.Dist(child.Source, child.Dest),
+		}, nil
+	}
+
+	sg, err := svc.Linear(child.Services...)
+	if err != nil {
+		return nil, fmt.Errorf("routing: child service chain: %w", err)
+	}
+	resolver := &s.States[child.Resolver]
+	members := s.Topo.Members(child.Cluster)
+	providers := func(x svc.Service) []int {
+		var out []int
+		for _, m := range members {
+			if set, ok := resolver.SCTP[m]; ok && set.Has(x) {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	req := svc.Request{Source: child.Source, Dest: child.Dest, SG: sg}
+	return FindPath(req, providers, OracleFunc(s.Topo.Dist), nil)
+}

@@ -1,0 +1,222 @@
+// Package state implements the paper's hierarchical service-routing
+// information distribution protocol (§4). Every proxy maintains two Service
+// Capability Tables: SCT_P with the full per-proxy capability of its own
+// cluster, and SCT_C with the aggregate capability (set union, footnote 5)
+// of every cluster in the system. Local-state messages flood a proxy's SCI
+// within its cluster; border proxies exchange aggregate-state messages
+// across the external links and re-flood them inside their clusters.
+//
+// This package provides the protocol as a deterministic synchronous
+// simulation with exact message accounting (used by the Fig. 9 experiments
+// and by hierarchical routing); package overlay runs the same logic as a
+// concurrent message-passing runtime.
+package state
+
+import (
+	"errors"
+	"fmt"
+
+	"hfc/internal/hfc"
+	"hfc/internal/svc"
+)
+
+// NodeState is the routing state one proxy holds after the protocol
+// converges.
+type NodeState struct {
+	// Node is the proxy this state belongs to.
+	Node int
+	// SCTP maps each proxy of the node's own cluster (including itself)
+	// to its service capability set.
+	SCTP map[int]svc.CapabilitySet
+	// SCTC maps every cluster ID in the system to the cluster's aggregate
+	// service set.
+	SCTC map[int]svc.CapabilitySet
+}
+
+// ServiceStateSize is the number of service-capability node-states the
+// proxy maintains — the per-proxy quantity Fig. 9(b) reports: one entry per
+// own-cluster proxy plus one per cluster in the system.
+func (s *NodeState) ServiceStateSize() int { return len(s.SCTP) + len(s.SCTC) }
+
+// HasLocal reports whether the node's SCT_P lists service x on proxy p.
+func (s *NodeState) HasLocal(p int, x svc.Service) bool {
+	set, ok := s.SCTP[p]
+	return ok && set.Has(x)
+}
+
+// ClustersProviding returns the IDs of clusters whose aggregate set
+// includes x, in increasing order.
+func (s *NodeState) ClustersProviding(x svc.Service) []int {
+	var out []int
+	for c := 0; c < len(s.SCTC); c++ {
+		if set, ok := s.SCTC[c]; ok && set.Has(x) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MessageStats counts protocol traffic for one full distribution round.
+type MessageStats struct {
+	// LocalMessages is the number of intra-cluster local-state messages
+	// (each proxy floods its SCI to every other member of its cluster).
+	LocalMessages int
+	// AggregateMessages is the number of aggregate-state messages sent
+	// across external links between border-proxy pairs.
+	AggregateMessages int
+	// ForwardMessages is the number of intra-cluster forwards of received
+	// aggregate-state messages.
+	ForwardMessages int
+}
+
+// Total returns the total message count.
+func (m MessageStats) Total() int {
+	return m.LocalMessages + m.AggregateMessages + m.ForwardMessages
+}
+
+// Distribute runs the §4 protocol to convergence over an HFC topology with
+// the given per-proxy capability assignment (caps[i] is overlay node i's
+// SCI) and returns every node's resulting state plus exact message counts.
+//
+// The synchronous schedule is: (1) every proxy floods a local-state message
+// to its cluster; (2) every border proxy aggregates its own cluster's SCI
+// and sends one aggregate-state message per external link it terminates;
+// (3) every border proxy that received an aggregate forwards it to the
+// other members of its cluster. A proxy learns its own cluster's aggregate
+// locally (no message needed).
+func Distribute(t *hfc.Topology, caps []svc.CapabilitySet) ([]NodeState, MessageStats, error) {
+	if t == nil {
+		return nil, MessageStats{}, errors.New("state: nil topology")
+	}
+	if len(caps) != t.N() {
+		return nil, MessageStats{}, fmt.Errorf("state: %d capability sets for %d nodes", len(caps), t.N())
+	}
+	for i, c := range caps {
+		if c == nil {
+			return nil, MessageStats{}, fmt.Errorf("state: nil capability set for node %d", i)
+		}
+	}
+
+	n := t.N()
+	k := t.NumClusters()
+	states := make([]NodeState, n)
+	for i := range states {
+		states[i] = NodeState{
+			Node: i,
+			SCTP: make(map[int]svc.CapabilitySet),
+			SCTC: make(map[int]svc.CapabilitySet, k),
+		}
+	}
+	var stats MessageStats
+
+	// Phase 1: local-state flooding. Proxy p sends its SCI to every other
+	// member of its cluster; every proxy also records its own SCI.
+	for c := 0; c < k; c++ {
+		members := t.Members(c)
+		for _, p := range members {
+			states[p].SCTP[p] = caps[p].Clone()
+			for _, q := range members {
+				if q == p {
+					continue
+				}
+				states[q].SCTP[p] = caps[p].Clone()
+				stats.LocalMessages++
+			}
+		}
+	}
+
+	// Aggregates: each cluster's union, computed at its border proxies
+	// from their (now converged) SCT_P. Every proxy knows its own
+	// cluster's aggregate locally.
+	aggregates := make([]svc.CapabilitySet, k)
+	for c := 0; c < k; c++ {
+		sets := make([]svc.CapabilitySet, 0, len(t.Members(c)))
+		for _, p := range t.Members(c) {
+			sets = append(sets, caps[p])
+		}
+		aggregates[c] = svc.Union(sets...)
+	}
+	for i := range states {
+		own := t.ClusterOf(i)
+		states[i].SCTC[own] = aggregates[own].Clone()
+	}
+
+	// Phase 2+3: aggregate-state exchange across every external link, then
+	// intra-cluster forwarding by the receiving border proxy.
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a == b {
+				continue
+			}
+			// Border of a toward b sends a's aggregate to border of b.
+			_, receiver, err := t.Border(a, b)
+			if err != nil {
+				return nil, MessageStats{}, fmt.Errorf("state: %w", err)
+			}
+			stats.AggregateMessages++
+			states[receiver].SCTC[a] = aggregates[a].Clone()
+			for _, q := range t.Members(b) {
+				if q == receiver {
+					continue
+				}
+				states[q].SCTC[a] = aggregates[a].Clone()
+				stats.ForwardMessages++
+			}
+		}
+	}
+	return states, stats, nil
+}
+
+// FlatStateSize returns the per-proxy node-state count of the flat
+// (single-level) baseline for both Fig. 9 metrics: every proxy keeps one
+// entry per overlay node, for coordinates and for service capability alike.
+func FlatStateSize(n int) int { return n }
+
+// VerifyConvergence checks the protocol's correctness conditions: every
+// node's SCT_P matches the true capabilities of exactly its cluster
+// members, and every node's SCT_C holds the true aggregate of every
+// cluster. It returns the first violation found.
+func VerifyConvergence(t *hfc.Topology, caps []svc.CapabilitySet, states []NodeState) error {
+	if len(states) != t.N() {
+		return fmt.Errorf("state: %d states for %d nodes", len(states), t.N())
+	}
+	k := t.NumClusters()
+	aggregates := make([]svc.CapabilitySet, k)
+	for c := 0; c < k; c++ {
+		sets := make([]svc.CapabilitySet, 0, len(t.Members(c)))
+		for _, p := range t.Members(c) {
+			sets = append(sets, caps[p])
+		}
+		aggregates[c] = svc.Union(sets...)
+	}
+	for i := range states {
+		st := &states[i]
+		own := t.ClusterOf(i)
+		members := t.Members(own)
+		if len(st.SCTP) != len(members) {
+			return fmt.Errorf("state: node %d SCT_P has %d entries, want %d", i, len(st.SCTP), len(members))
+		}
+		for _, m := range members {
+			set, ok := st.SCTP[m]
+			if !ok {
+				return fmt.Errorf("state: node %d SCT_P missing cluster member %d", i, m)
+			}
+			if !set.Equal(caps[m]) {
+				return fmt.Errorf("state: node %d SCT_P entry for %d is %v, want %v", i, m, set, caps[m])
+			}
+		}
+		if len(st.SCTC) != k {
+			return fmt.Errorf("state: node %d SCT_C has %d entries, want %d", i, len(st.SCTC), k)
+		}
+		for c := 0; c < k; c++ {
+			set, ok := st.SCTC[c]
+			if !ok {
+				return fmt.Errorf("state: node %d SCT_C missing cluster %d", i, c)
+			}
+			if !set.Equal(aggregates[c]) {
+				return fmt.Errorf("state: node %d SCT_C entry for cluster %d is %v, want %v", i, c, set, aggregates[c])
+			}
+		}
+	}
+	return nil
+}

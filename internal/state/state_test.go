@@ -1,0 +1,250 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/hfc"
+	"hfc/internal/svc"
+)
+
+// fixture builds a 3-cluster HFC topology with 3+2+4 nodes and a known
+// capability assignment.
+func fixture(t *testing.T) (*hfc.Topology, []svc.CapabilitySet) {
+	t.Helper()
+	pts := []coords.Point{
+		{0, 0}, {1, 0}, {2, 0}, // cluster 0: nodes 0-2
+		{100, 0}, {101, 0}, // cluster 1: nodes 3-4
+		{0, 100}, {1, 100}, {2, 100}, {3, 100}, // cluster 2: nodes 5-8
+	}
+	assignment := []int{0, 0, 0, 1, 1, 2, 2, 2, 2}
+	clusters := [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7, 8}}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	topo, err := hfc.Build(cmap, &cluster.Result{Assignment: assignment, Clusters: clusters})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet("s1"),
+		svc.NewCapabilitySet("s2", "s3"),
+		svc.NewCapabilitySet("s1", "s4"),
+		svc.NewCapabilitySet("s5"),
+		svc.NewCapabilitySet("s2"),
+		svc.NewCapabilitySet("s6"),
+		svc.NewCapabilitySet("s6", "s7"),
+		svc.NewCapabilitySet("s1"),
+		svc.NewCapabilitySet("s8"),
+	}
+	return topo, caps
+}
+
+func TestDistributeConverges(t *testing.T) {
+	topo, caps := fixture(t)
+	states, _, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	if err := VerifyConvergence(topo, caps, states); err != nil {
+		t.Fatalf("VerifyConvergence: %v", err)
+	}
+}
+
+func TestDistributeMessageCounts(t *testing.T) {
+	topo, caps := fixture(t)
+	_, stats, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	// Local: Σ |C|(|C|-1) = 3·2 + 2·1 + 4·3 = 20.
+	if stats.LocalMessages != 20 {
+		t.Errorf("LocalMessages = %d, want 20", stats.LocalMessages)
+	}
+	// Aggregate: one per directed cluster pair = 3·2 = 6.
+	if stats.AggregateMessages != 6 {
+		t.Errorf("AggregateMessages = %d, want 6", stats.AggregateMessages)
+	}
+	// Forwards: per received aggregate, |C|-1 forwards. Each cluster
+	// receives k-1 = 2 aggregates: 2·(3-1) + 2·(2-1) + 2·(4-1) = 12.
+	if stats.ForwardMessages != 12 {
+		t.Errorf("ForwardMessages = %d, want 12", stats.ForwardMessages)
+	}
+	if stats.Total() != 38 {
+		t.Errorf("Total = %d, want 38", stats.Total())
+	}
+}
+
+func TestServiceStateSize(t *testing.T) {
+	topo, caps := fixture(t)
+	states, _, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	// Fig. 9(b): |own cluster| + number of clusters.
+	wantByCluster := map[int]int{0: 3 + 3, 1: 2 + 3, 2: 4 + 3}
+	for i := range states {
+		want := wantByCluster[topo.ClusterOf(i)]
+		if got := states[i].ServiceStateSize(); got != want {
+			t.Errorf("node %d ServiceStateSize = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHasLocalAndClustersProviding(t *testing.T) {
+	topo, caps := fixture(t)
+	states, _, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	// Node 0 (cluster 0) sees node 2's s4 locally.
+	if !states[0].HasLocal(2, "s4") {
+		t.Error("node 0 does not see s4 on node 2")
+	}
+	// Node 0 must not have SCT_P entries for other clusters' nodes.
+	if states[0].HasLocal(3, "s5") {
+		t.Error("node 0 has foreign SCT_P entry for node 3")
+	}
+	// s1 is available in clusters 0 (nodes 0,2) and 2 (node 7).
+	got := states[4].ClustersProviding("s1")
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("ClustersProviding(s1) = %v, want [0 2]", got)
+	}
+	// s5 only in cluster 1.
+	got = states[0].ClustersProviding("s5")
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("ClustersProviding(s5) = %v, want [1]", got)
+	}
+	if got := states[0].ClustersProviding("nope"); len(got) != 0 {
+		t.Errorf("ClustersProviding(nope) = %v, want empty", got)
+	}
+}
+
+func TestDistributeValidation(t *testing.T) {
+	topo, caps := fixture(t)
+	if _, _, err := Distribute(nil, caps); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, _, err := Distribute(topo, caps[:3]); err == nil {
+		t.Error("short capability list accepted")
+	}
+	bad := append([]svc.CapabilitySet(nil), caps...)
+	bad[2] = nil
+	if _, _, err := Distribute(topo, bad); err == nil {
+		t.Error("nil capability set accepted")
+	}
+}
+
+func TestDistributeIsolation(t *testing.T) {
+	// Mutating returned state must not corrupt the input capabilities.
+	topo, caps := fixture(t)
+	states, _, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	states[0].SCTP[0].Add("injected")
+	states[0].SCTC[0].Add("injected2")
+	if caps[0].Has("injected") || caps[0].Has("injected2") {
+		t.Error("node state aliases input capability sets")
+	}
+}
+
+func TestVerifyConvergenceDetectsCorruption(t *testing.T) {
+	topo, caps := fixture(t)
+	states, _, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	states[3].SCTC[0].Add("bogus")
+	if err := VerifyConvergence(topo, caps, states); err == nil {
+		t.Error("corrupted SCT_C passed verification")
+	}
+	states, _, err = Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	delete(states[5].SCTP, 6)
+	if err := VerifyConvergence(topo, caps, states); err == nil {
+		t.Error("missing SCT_P entry passed verification")
+	}
+	if err := VerifyConvergence(topo, caps, states[:2]); err == nil {
+		t.Error("short state list passed verification")
+	}
+}
+
+func TestFlatStateSize(t *testing.T) {
+	if FlatStateSize(1000) != 1000 {
+		t.Error("FlatStateSize(1000) != 1000")
+	}
+}
+
+func TestDistributeSingleCluster(t *testing.T) {
+	pts := []coords.Point{{0, 0}, {1, 0}, {2, 0}}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	topo, err := hfc.Build(cmap, &cluster.Result{Assignment: []int{0, 0, 0}, Clusters: [][]int{{0, 1, 2}}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet("a"),
+		svc.NewCapabilitySet("b"),
+		svc.NewCapabilitySet("c"),
+	}
+	states, stats, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	if stats.AggregateMessages != 0 || stats.ForwardMessages != 0 {
+		t.Errorf("single cluster produced inter-cluster traffic: %+v", stats)
+	}
+	if err := VerifyConvergence(topo, caps, states); err != nil {
+		t.Fatalf("VerifyConvergence: %v", err)
+	}
+}
+
+func TestDistributeLargeRandomConvergesProperty(t *testing.T) {
+	// Random clusterable point set end-to-end through the real clustering.
+	rng := rand.New(rand.NewSource(77))
+	var pts []coords.Point
+	for c := 0; c < 5; c++ {
+		for i := 0; i < 12; i++ {
+			pts = append(pts, coords.Point{float64(c)*300 + rng.Float64()*20, float64(c%2)*300 + rng.Float64()*20})
+		}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	res, err := cluster.Cluster(len(pts), cmap.Dist, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	topo, err := hfc.Build(cmap, res)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cat, err := svc.NewCatalog(20)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	caps, err := svc.RandomCapabilities(rng, len(pts), cat, 2, 6)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	states, stats, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	if err := VerifyConvergence(topo, caps, states); err != nil {
+		t.Fatalf("VerifyConvergence: %v", err)
+	}
+	if stats.LocalMessages == 0 {
+		t.Error("no local messages recorded")
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of singleton != 0")
+	}
+	if Variance(nil) != 0 {
+		t.Error("Variance of nil != 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v, want -1", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %v, want 7", Max(xs))
+	}
+	if Sum(xs) != 11 {
+		t.Errorf("Sum = %v, want 11", Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) {
+		t.Error("Min(nil) != +Inf")
+	}
+	if !math.IsInf(Max(nil), -1) {
+		t.Error("Max(nil) != -Inf")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {120, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); !almostEqual(got, 15) {
+		t.Errorf("Percentile interp = %v, want 15", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianProperty(t *testing.T) {
+	// At least half the samples are <= median and at least half are >=.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		m := Median(xs)
+		lo, hi := 0, 0
+		for _, x := range xs {
+			if x <= m+1e-9 {
+				lo++
+			}
+			if x >= m-1e-9 {
+				hi++
+			}
+		}
+		return lo*2 >= n && hi*2 >= n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		ps := []float64{0, 10, 25, 50, 75, 90, 99, 100}
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = Percentile(xs, p)
+		}
+		return sort.Float64sAreSorted(vals)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEqual(s.Mean, 3) || !almostEqual(s.Min, 1) || !almostEqual(s.Max, 5) || !almostEqual(s.P50, 3) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if empty := Summarize(nil); empty.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", empty.N)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("Summary.String() = %q, missing n=5", s.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 9.99, -5, 100} {
+		h.Observe(x)
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	// -5 clamps to bucket 0; 100 clamps to bucket 4.
+	if h.Buckets[0] != 3 {
+		t.Errorf("bucket 0 = %d, want 3", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 {
+		t.Errorf("bucket 1 = %d, want 1", h.Buckets[1])
+	}
+	if h.Buckets[4] != 2 {
+		t.Errorf("bucket 4 = %d, want 2", h.Buckets[4])
+	}
+	if out := h.String(); !strings.Contains(out, "#") {
+		t.Errorf("String() = %q, missing bars", out)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 0, 5) },
+		func() { NewHistogram(5, 5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewHistogram with invalid args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

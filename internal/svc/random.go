@@ -1,0 +1,195 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// RandomCapabilities assigns each of n proxies a uniform-random number of
+// distinct services in [minServices, maxServices], drawn from the catalog.
+// This reproduces Table 1's "services/proxy: 4-10" column.
+func RandomCapabilities(rng *rand.Rand, n int, cat *Catalog, minServices, maxServices int) ([]CapabilitySet, error) {
+	if rng == nil {
+		return nil, errors.New("svc: nil rng")
+	}
+	if cat == nil {
+		return nil, errors.New("svc: nil catalog")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("svc: proxy count %d must be >= 1", n)
+	}
+	if minServices < 1 || maxServices < minServices {
+		return nil, fmt.Errorf("svc: invalid services-per-proxy range [%d,%d]", minServices, maxServices)
+	}
+	if maxServices > cat.Len() {
+		return nil, fmt.Errorf("svc: up to %d services per proxy but catalog has only %d", maxServices, cat.Len())
+	}
+	out := make([]CapabilitySet, n)
+	for i := range out {
+		count := minServices + rng.Intn(maxServices-minServices+1)
+		perm := rng.Perm(cat.Len())
+		set := make(CapabilitySet, count)
+		for _, idx := range perm[:count] {
+			set.Add(cat.At(idx))
+		}
+		out[i] = set
+	}
+	return out, nil
+}
+
+// RandomLinearRequest builds a request with a linear SG of uniform-random
+// length in [minLen, maxLen] over distinct catalog services, and uniform
+// random distinct source/destination proxies among n. This reproduces
+// Table 1's "service req. length: 4-10" column.
+//
+// Only services available somewhere in the overlay can be satisfied, so the
+// caller typically passes the union of all proxies' capabilities as the
+// catalog (see RequestGenerator for that convenience).
+func RandomLinearRequest(rng *rand.Rand, cat *Catalog, n, minLen, maxLen int) (Request, error) {
+	if rng == nil {
+		return Request{}, errors.New("svc: nil rng")
+	}
+	if cat == nil {
+		return Request{}, errors.New("svc: nil catalog")
+	}
+	if n < 2 {
+		return Request{}, fmt.Errorf("svc: need at least 2 proxies, got %d", n)
+	}
+	if minLen < 1 || maxLen < minLen {
+		return Request{}, fmt.Errorf("svc: invalid request length range [%d,%d]", minLen, maxLen)
+	}
+	if maxLen > cat.Len() {
+		return Request{}, fmt.Errorf("svc: request length up to %d but catalog has only %d services", maxLen, cat.Len())
+	}
+	length := minLen + rng.Intn(maxLen-minLen+1)
+	perm := rng.Perm(cat.Len())
+	services := make([]Service, length)
+	for i := 0; i < length; i++ {
+		services[i] = cat.At(perm[i])
+	}
+	sg, err := Linear(services...)
+	if err != nil {
+		return Request{}, err
+	}
+	src := rng.Intn(n)
+	dst := rng.Intn(n - 1)
+	if dst >= src {
+		dst++
+	}
+	return Request{Source: src, Dest: dst, SG: sg}, nil
+}
+
+// RandomDAGRequest builds a request with a non-linear SG: `branches`
+// alternative source chains that merge into a shared suffix chain, the shape
+// of Fig. 2(b). Each configuration is one branch followed by the suffix.
+// Total distinct services used: branches·branchLen + suffixLen.
+func RandomDAGRequest(rng *rand.Rand, cat *Catalog, n, branches, branchLen, suffixLen int) (Request, error) {
+	if rng == nil {
+		return Request{}, errors.New("svc: nil rng")
+	}
+	if cat == nil {
+		return Request{}, errors.New("svc: nil catalog")
+	}
+	if n < 2 {
+		return Request{}, fmt.Errorf("svc: need at least 2 proxies, got %d", n)
+	}
+	if branches < 1 || branchLen < 1 || suffixLen < 1 {
+		return Request{}, fmt.Errorf("svc: invalid DAG shape branches=%d branchLen=%d suffixLen=%d", branches, branchLen, suffixLen)
+	}
+	need := branches*branchLen + suffixLen
+	if need > cat.Len() {
+		return Request{}, fmt.Errorf("svc: DAG request needs %d services but catalog has %d", need, cat.Len())
+	}
+	perm := rng.Perm(cat.Len())
+	next := 0
+	take := func() Service {
+		s := cat.At(perm[next])
+		next++
+		return s
+	}
+
+	g := &Graph{}
+	addVertex := func(s Service) int {
+		g.Services = append(g.Services, s)
+		return len(g.Services) - 1
+	}
+	// Shared suffix chain.
+	suffix := make([]int, suffixLen)
+	for i := range suffix {
+		suffix[i] = addVertex(take())
+		if i > 0 {
+			g.Edges = append(g.Edges, [2]int{suffix[i-1], suffix[i]})
+		}
+	}
+	// Branches feeding the head of the suffix.
+	for b := 0; b < branches; b++ {
+		prev := -1
+		for i := 0; i < branchLen; i++ {
+			v := addVertex(take())
+			if prev != -1 {
+				g.Edges = append(g.Edges, [2]int{prev, v})
+			}
+			prev = v
+		}
+		g.Edges = append(g.Edges, [2]int{prev, suffix[0]})
+	}
+	if err := g.Validate(); err != nil {
+		return Request{}, err
+	}
+	src := rng.Intn(n)
+	dst := rng.Intn(n - 1)
+	if dst >= src {
+		dst++
+	}
+	return Request{Source: src, Dest: dst, SG: g}, nil
+}
+
+// RequestGenerator produces a stream of satisfiable random requests for an
+// overlay: it restricts the catalog to services that are actually installed
+// somewhere, so generated requests always have at least one feasible
+// provider set.
+type RequestGenerator struct {
+	rng      *rand.Rand
+	n        int
+	minLen   int
+	maxLen   int
+	deployed *Catalog
+}
+
+// NewRequestGenerator builds a generator over n proxies with the given
+// capability assignment and request length range.
+func NewRequestGenerator(rng *rand.Rand, caps []CapabilitySet, minLen, maxLen int) (*RequestGenerator, error) {
+	if rng == nil {
+		return nil, errors.New("svc: nil rng")
+	}
+	if len(caps) < 2 {
+		return nil, fmt.Errorf("svc: need at least 2 proxies, got %d", len(caps))
+	}
+	union := Union(caps...)
+	if union.Len() == 0 {
+		return nil, errors.New("svc: no services deployed on any proxy")
+	}
+	if minLen < 1 || maxLen < minLen {
+		return nil, fmt.Errorf("svc: invalid request length range [%d,%d]", minLen, maxLen)
+	}
+	if maxLen > union.Len() {
+		return nil, fmt.Errorf("svc: request length up to %d but only %d distinct services deployed", maxLen, union.Len())
+	}
+	deployed, err := CatalogOf(union.Sorted()...)
+	if err != nil {
+		return nil, err
+	}
+	return &RequestGenerator{
+		rng:      rng,
+		n:        len(caps),
+		minLen:   minLen,
+		maxLen:   maxLen,
+		deployed: deployed,
+	}, nil
+}
+
+// Next returns the next random linear request.
+func (g *RequestGenerator) Next() (Request, error) {
+	return RandomLinearRequest(g.rng, g.deployed, g.n, g.minLen, g.maxLen)
+}

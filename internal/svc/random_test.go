@@ -1,0 +1,224 @@
+package svc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCatalog(t *testing.T, n int) *Catalog {
+	t.Helper()
+	c, err := NewCatalog(n)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	return c
+}
+
+func TestRandomCapabilitiesRespectsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cat := mustCatalog(t, 40)
+	caps, err := RandomCapabilities(rng, 100, cat, 4, 10)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	if len(caps) != 100 {
+		t.Fatalf("got %d sets, want 100", len(caps))
+	}
+	sawMin, sawSpread := false, false
+	for i, s := range caps {
+		if s.Len() < 4 || s.Len() > 10 {
+			t.Errorf("proxy %d has %d services, want 4..10", i, s.Len())
+		}
+		if s.Len() == 4 {
+			sawMin = true
+		}
+		if s.Len() >= 8 {
+			sawSpread = true
+		}
+	}
+	if !sawMin || !sawSpread {
+		t.Error("capability sizes not spread across the range (suspicious RNG use)")
+	}
+}
+
+func TestRandomCapabilitiesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cat := mustCatalog(t, 5)
+	if _, err := RandomCapabilities(nil, 3, cat, 1, 2); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := RandomCapabilities(rng, 3, nil, 1, 2); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := RandomCapabilities(rng, 0, cat, 1, 2); err == nil {
+		t.Error("zero proxies accepted")
+	}
+	if _, err := RandomCapabilities(rng, 3, cat, 0, 2); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := RandomCapabilities(rng, 3, cat, 3, 2); err == nil {
+		t.Error("min > max accepted")
+	}
+	if _, err := RandomCapabilities(rng, 3, cat, 1, 6); err == nil {
+		t.Error("max beyond catalog accepted")
+	}
+}
+
+func TestRandomLinearRequestProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cat, err := NewCatalog(20)
+		if err != nil {
+			return false
+		}
+		req, err := RandomLinearRequest(rng, cat, 50, 4, 10)
+		if err != nil {
+			return false
+		}
+		if req.Source == req.Dest {
+			return false
+		}
+		if err := req.Validate(50); err != nil {
+			return false
+		}
+		if !req.SG.IsLinear() {
+			return false
+		}
+		l := req.SG.Len()
+		if l < 4 || l > 10 {
+			return false
+		}
+		// Services must be distinct.
+		seen := make(map[Service]bool)
+		for _, s := range req.SG.Services {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomLinearRequestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cat := mustCatalog(t, 10)
+	if _, err := RandomLinearRequest(nil, cat, 10, 2, 3); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := RandomLinearRequest(rng, nil, 10, 2, 3); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := RandomLinearRequest(rng, cat, 1, 2, 3); err == nil {
+		t.Error("single proxy accepted")
+	}
+	if _, err := RandomLinearRequest(rng, cat, 10, 0, 3); err == nil {
+		t.Error("zero min length accepted")
+	}
+	if _, err := RandomLinearRequest(rng, cat, 10, 5, 3); err == nil {
+		t.Error("min > max accepted")
+	}
+	if _, err := RandomLinearRequest(rng, cat, 10, 2, 11); err == nil {
+		t.Error("length beyond catalog accepted")
+	}
+}
+
+func TestRandomDAGRequestShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cat := mustCatalog(t, 30)
+	req, err := RandomDAGRequest(rng, cat, 20, 3, 2, 3)
+	if err != nil {
+		t.Fatalf("RandomDAGRequest: %v", err)
+	}
+	if err := req.Validate(20); err != nil {
+		t.Fatalf("generated request invalid: %v", err)
+	}
+	if req.SG.IsLinear() {
+		t.Error("DAG request produced linear SG")
+	}
+	if req.SG.Len() != 3*2+3 {
+		t.Errorf("SG has %d services, want 9", req.SG.Len())
+	}
+	configs := req.SG.Configurations()
+	if len(configs) != 3 {
+		t.Fatalf("got %d configurations, want 3 (one per branch)", len(configs))
+	}
+	for _, c := range configs {
+		if len(c) != 2+3 {
+			t.Errorf("configuration length %d, want 5", len(c))
+		}
+	}
+}
+
+func TestRandomDAGRequestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cat := mustCatalog(t, 10)
+	if _, err := RandomDAGRequest(rng, cat, 20, 3, 3, 3); err == nil {
+		t.Error("oversized DAG accepted (needs 12 > 10 services)")
+	}
+	if _, err := RandomDAGRequest(rng, cat, 20, 0, 1, 1); err == nil {
+		t.Error("zero branches accepted")
+	}
+	if _, err := RandomDAGRequest(nil, cat, 20, 1, 1, 1); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := RandomDAGRequest(rng, nil, 20, 1, 1, 1); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := RandomDAGRequest(rng, cat, 1, 1, 1, 1); err == nil {
+		t.Error("single proxy accepted")
+	}
+}
+
+func TestRequestGeneratorOnlyUsesDeployedServices(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Deploy a limited set of services.
+	caps := []CapabilitySet{
+		NewCapabilitySet("a", "b", "c"),
+		NewCapabilitySet("c", "d"),
+		NewCapabilitySet("e", "f", "g", "h"),
+	}
+	gen, err := NewRequestGenerator(rng, caps, 2, 4)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	deployed := Union(caps...)
+	for i := 0; i < 50; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		for _, s := range req.SG.Services {
+			if !deployed.Has(s) {
+				t.Fatalf("request %d uses undeployed service %q", i, s)
+			}
+		}
+		if req.Source < 0 || req.Source >= 3 || req.Dest < 0 || req.Dest >= 3 {
+			t.Fatalf("request %d endpoints out of range: %+v", i, req)
+		}
+	}
+}
+
+func TestRequestGeneratorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	caps := []CapabilitySet{NewCapabilitySet("a"), NewCapabilitySet("b")}
+	if _, err := NewRequestGenerator(nil, caps, 1, 1); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewRequestGenerator(rng, caps[:1], 1, 1); err == nil {
+		t.Error("single proxy accepted")
+	}
+	if _, err := NewRequestGenerator(rng, []CapabilitySet{NewCapabilitySet(), NewCapabilitySet()}, 1, 1); err == nil {
+		t.Error("empty deployment accepted")
+	}
+	if _, err := NewRequestGenerator(rng, caps, 1, 5); err == nil {
+		t.Error("request length beyond deployed services accepted")
+	}
+	if _, err := NewRequestGenerator(rng, caps, 0, 1); err == nil {
+		t.Error("zero min length accepted")
+	}
+}

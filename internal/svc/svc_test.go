@@ -1,0 +1,229 @@
+package svc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewCatalog(t *testing.T) {
+	c, err := NewCatalog(5)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len = %d, want 5", c.Len())
+	}
+	if c.At(0) != "s0" || c.At(4) != "s4" {
+		t.Errorf("names = %v", c.Services())
+	}
+	if _, err := NewCatalog(0); err == nil {
+		t.Error("NewCatalog(0) succeeded")
+	}
+}
+
+func TestCatalogOf(t *testing.T) {
+	c, err := CatalogOf("watermark", "transcode")
+	if err != nil {
+		t.Fatalf("CatalogOf: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if _, err := CatalogOf(); err == nil {
+		t.Error("empty CatalogOf succeeded")
+	}
+	if _, err := CatalogOf("a", "a"); err == nil {
+		t.Error("duplicate CatalogOf succeeded")
+	}
+	if _, err := CatalogOf("a", ""); err == nil {
+		t.Error("empty-name CatalogOf succeeded")
+	}
+}
+
+func TestCatalogServicesIsCopy(t *testing.T) {
+	c, err := CatalogOf("a", "b")
+	if err != nil {
+		t.Fatalf("CatalogOf: %v", err)
+	}
+	list := c.Services()
+	list[0] = "mutated"
+	if c.At(0) != "a" {
+		t.Error("Services() exposes internal slice")
+	}
+}
+
+func TestCapabilitySetBasics(t *testing.T) {
+	s := NewCapabilitySet("a", "b")
+	if !s.Has("a") || !s.Has("b") || s.Has("c") {
+		t.Errorf("membership wrong: %v", s)
+	}
+	s.Add("c")
+	if !s.Has("c") || s.Len() != 3 {
+		t.Errorf("after Add: %v", s)
+	}
+	clone := s.Clone()
+	clone.Add("d")
+	if s.Has("d") {
+		t.Error("Clone shares storage")
+	}
+	if got := s.String(); got != "{a, b, c}" {
+		t.Errorf("String() = %q, want {a, b, c}", got)
+	}
+}
+
+func TestUnionAggregation(t *testing.T) {
+	// §4 footnote 5: cluster aggregate = union of member SCIs.
+	a := NewCapabilitySet("s1", "s2")
+	b := NewCapabilitySet("s2", "s3")
+	c := NewCapabilitySet()
+	u := Union(a, b, c)
+	want := NewCapabilitySet("s1", "s2", "s3")
+	if !u.Equal(want) {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	// Union must not alias its inputs.
+	u.Add("s9")
+	if a.Has("s9") || b.Has("s9") {
+		t.Error("Union aliases input sets")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !NewCapabilitySet("x").Equal(NewCapabilitySet("x")) {
+		t.Error("equal sets reported unequal")
+	}
+	if NewCapabilitySet("x").Equal(NewCapabilitySet("y")) {
+		t.Error("different sets reported equal")
+	}
+	if NewCapabilitySet("x").Equal(NewCapabilitySet("x", "y")) {
+		t.Error("subset reported equal")
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	s := NewCapabilitySet("s10", "s2", "s1")
+	got := s.Sorted()
+	if len(got) != 3 || got[0] != "s1" || got[1] != "s10" || got[2] != "s2" {
+		t.Errorf("Sorted() = %v (lexicographic expected)", got)
+	}
+}
+
+func TestLinearGraph(t *testing.T) {
+	g, err := Linear("a", "b", "c")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	if !g.IsLinear() {
+		t.Error("IsLinear() = false for chain")
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Sources = %v, want [0]", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Sinks = %v, want [2]", got)
+	}
+	configs := g.Configurations()
+	if len(configs) != 1 {
+		t.Fatalf("Configurations = %d, want 1", len(configs))
+	}
+	names := g.ServicesOf(configs[0])
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("config services = %v", names)
+	}
+	if s := g.String(); s != "a->b, b->c" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSingleServiceGraph(t *testing.T) {
+	g, err := Linear("only")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	if !g.IsLinear() {
+		t.Error("single-service graph not linear")
+	}
+	if len(g.Configurations()) != 1 {
+		t.Error("single-service graph should have exactly 1 configuration")
+	}
+	if g.String() != "only" {
+		t.Errorf("String() = %q", g.String())
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"nil", nil},
+		{"empty", &Graph{}},
+		{"empty name", &Graph{Services: []Service{""}}},
+		{"duplicate", &Graph{Services: []Service{"a", "a"}}},
+		{"edge out of range", &Graph{Services: []Service{"a"}, Edges: [][2]int{{0, 5}}}},
+		{"self loop", &Graph{Services: []Service{"a"}, Edges: [][2]int{{0, 0}}}},
+		{"cycle", &Graph{Services: []Service{"a", "b"}, Edges: [][2]int{{0, 1}, {1, 0}}}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded", c.name)
+		}
+	}
+}
+
+func TestPaperFig2bConfigurations(t *testing.T) {
+	// Fig. 2(b): three configurations: s0→s1→s2, s3→s1→s2, s3→s2.
+	g := &Graph{
+		Services: []Service{"s0", "s1", "s2", "s3"},
+		Edges:    [][2]int{{0, 1}, {3, 1}, {1, 2}, {3, 2}},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.IsLinear() {
+		t.Error("Fig 2b graph reported linear")
+	}
+	configs := g.Configurations()
+	if len(configs) != 3 {
+		t.Fatalf("got %d configurations, want 3: %v", len(configs), configs)
+	}
+	var rendered []string
+	for _, c := range configs {
+		names := g.ServicesOf(c)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = string(n)
+		}
+		rendered = append(rendered, strings.Join(parts, "->"))
+	}
+	want := map[string]bool{"s0->s1->s2": true, "s3->s1->s2": true, "s3->s2": true}
+	for _, r := range rendered {
+		if !want[r] {
+			t.Errorf("unexpected configuration %q", r)
+		}
+		delete(want, r)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing configurations: %v", want)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	sg, err := Linear("a")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	ok := Request{Source: 0, Dest: 1, SG: sg}
+	if err := ok.Validate(2); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	if err := (Request{Source: -1, Dest: 1, SG: sg}).Validate(2); err == nil {
+		t.Error("negative source accepted")
+	}
+	if err := (Request{Source: 0, Dest: 2, SG: sg}).Validate(2); err == nil {
+		t.Error("out-of-range dest accepted")
+	}
+	if err := (Request{Source: 0, Dest: 1, SG: nil}).Validate(2); err == nil {
+		t.Error("nil SG accepted")
+	}
+}

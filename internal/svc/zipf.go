@@ -1,0 +1,103 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ZipfRequestGenerator produces random linear requests whose services are
+// drawn with Zipf-distributed popularity instead of uniformly: a few hot
+// services (transcoders everyone needs) dominate the workload while the
+// tail is rare — the skew real service deployments exhibit. Requests stay
+// satisfiable: only deployed services are drawn.
+type ZipfRequestGenerator struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	deployed []Service
+	n        int
+	minLen   int
+	maxLen   int
+}
+
+// NewZipfRequestGenerator builds a generator over the deployment in caps.
+// s > 1 is the Zipf exponent (larger = more skew); rank 0 (the most popular
+// service) is the lexicographically first deployed service, which is
+// arbitrary but deterministic.
+func NewZipfRequestGenerator(rng *rand.Rand, caps []CapabilitySet, minLen, maxLen int, s float64) (*ZipfRequestGenerator, error) {
+	if rng == nil {
+		return nil, errors.New("svc: nil rng")
+	}
+	if len(caps) < 2 {
+		return nil, fmt.Errorf("svc: need at least 2 proxies, got %d", len(caps))
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("svc: zipf exponent %v must be > 1", s)
+	}
+	deployed := Union(caps...).Sorted()
+	if len(deployed) == 0 {
+		return nil, errors.New("svc: no services deployed on any proxy")
+	}
+	if minLen < 1 || maxLen < minLen {
+		return nil, fmt.Errorf("svc: invalid request length range [%d,%d]", minLen, maxLen)
+	}
+	if maxLen > len(deployed) {
+		return nil, fmt.Errorf("svc: request length up to %d but only %d distinct services deployed", maxLen, len(deployed))
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(deployed)-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("svc: invalid zipf parameters (s=%v)", s)
+	}
+	return &ZipfRequestGenerator{
+		rng:      rng,
+		zipf:     zipf,
+		deployed: deployed,
+		n:        len(caps),
+		minLen:   minLen,
+		maxLen:   maxLen,
+	}, nil
+}
+
+// Next returns the next random request. Service chains need distinct
+// services, so duplicate Zipf draws are rejected and redrawn.
+func (g *ZipfRequestGenerator) Next() (Request, error) {
+	length := g.minLen + g.rng.Intn(g.maxLen-g.minLen+1)
+	chosen := make([]Service, 0, length)
+	seen := make(map[Service]bool, length)
+	// With heavy skew, rejection can loop on hot ranks; bound the attempts
+	// and fall back to a scan over unused ranks.
+	for attempts := 0; len(chosen) < length && attempts < 50*length; attempts++ {
+		s := g.deployed[g.zipf.Uint64()]
+		if !seen[s] {
+			seen[s] = true
+			chosen = append(chosen, s)
+		}
+	}
+	for rank := 0; len(chosen) < length && rank < len(g.deployed); rank++ {
+		s := g.deployed[rank]
+		if !seen[s] {
+			seen[s] = true
+			chosen = append(chosen, s)
+		}
+	}
+	sg, err := Linear(chosen...)
+	if err != nil {
+		return Request{}, err
+	}
+	src := g.rng.Intn(g.n)
+	dst := g.rng.Intn(g.n - 1)
+	if dst >= src {
+		dst++
+	}
+	return Request{Source: src, Dest: dst, SG: sg}, nil
+}
+
+// Popularity returns the empirical draw distribution over `draws` samples,
+// indexed by deployed-service rank — used by tests and workload analysis.
+func (g *ZipfRequestGenerator) Popularity(draws int) []int {
+	counts := make([]int, len(g.deployed))
+	for i := 0; i < draws; i++ {
+		counts[g.zipf.Uint64()]++
+	}
+	return counts
+}

@@ -1,0 +1,122 @@
+package svc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func zipfCaps(t *testing.T, rng *rand.Rand) []CapabilitySet {
+	t.Helper()
+	cat := mustCatalog(t, 20)
+	caps, err := RandomCapabilities(rng, 30, cat, 3, 8)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	return caps
+}
+
+func TestZipfRequestGeneratorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	caps := zipfCaps(t, rng)
+	gen, err := NewZipfRequestGenerator(rng, caps, 3, 6, 1.5)
+	if err != nil {
+		t.Fatalf("NewZipfRequestGenerator: %v", err)
+	}
+	deployed := Union(caps...)
+	for i := 0; i < 100; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if err := req.Validate(30); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+		if req.Source == req.Dest {
+			t.Fatalf("request %d has equal endpoints", i)
+		}
+		l := req.SG.Len()
+		if l < 3 || l > 6 {
+			t.Fatalf("request %d length %d outside [3,6]", i, l)
+		}
+		seen := map[Service]bool{}
+		for _, s := range req.SG.Services {
+			if seen[s] {
+				t.Fatalf("request %d repeats service %q", i, s)
+			}
+			seen[s] = true
+			if !deployed.Has(s) {
+				t.Fatalf("request %d uses undeployed service %q", i, s)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	caps := zipfCaps(t, rng)
+	gen, err := NewZipfRequestGenerator(rng, caps, 2, 4, 2.0)
+	if err != nil {
+		t.Fatalf("NewZipfRequestGenerator: %v", err)
+	}
+	counts := gen.Popularity(20000)
+	// Rank 0 must dominate the tail decisively at s=2.
+	tail := 0
+	for _, c := range counts[len(counts)/2:] {
+		tail += c
+	}
+	if counts[0] <= tail {
+		t.Errorf("rank-0 count %d not above combined tail %d (no skew?)", counts[0], tail)
+	}
+	// Monotone-ish: rank 0 >= rank at 1/4 >= rank at 1/2 (statistically).
+	q := len(counts) / 4
+	if counts[0] < counts[q] || counts[q] < counts[2*q] {
+		t.Errorf("popularity not decreasing: %d, %d, %d", counts[0], counts[q], counts[2*q])
+	}
+}
+
+func TestZipfHeavySkewStillProducesDistinctChains(t *testing.T) {
+	// With extreme skew the hot service dominates draws; the fallback scan
+	// must still complete chains with distinct services.
+	rng := rand.New(rand.NewSource(3))
+	caps := zipfCaps(t, rng)
+	gen, err := NewZipfRequestGenerator(rng, caps, 6, 6, 8.0)
+	if err != nil {
+		t.Fatalf("NewZipfRequestGenerator: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if req.SG.Len() != 6 {
+			t.Fatalf("chain length %d, want 6", req.SG.Len())
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	caps := zipfCaps(t, rng)
+	if _, err := NewZipfRequestGenerator(nil, caps, 2, 4, 1.5); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewZipfRequestGenerator(rng, caps[:1], 2, 4, 1.5); err == nil {
+		t.Error("single proxy accepted")
+	}
+	if _, err := NewZipfRequestGenerator(rng, caps, 2, 4, 1.0); err == nil {
+		t.Error("s <= 1 accepted")
+	}
+	if _, err := NewZipfRequestGenerator(rng, caps, 0, 4, 1.5); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := NewZipfRequestGenerator(rng, caps, 5, 4, 1.5); err == nil {
+		t.Error("min > max accepted")
+	}
+	if _, err := NewZipfRequestGenerator(rng, caps, 2, 99, 1.5); err == nil {
+		t.Error("max beyond deployment accepted")
+	}
+	empty := []CapabilitySet{NewCapabilitySet(), NewCapabilitySet()}
+	if _, err := NewZipfRequestGenerator(rng, empty, 1, 1, 1.5); err == nil {
+		t.Error("empty deployment accepted")
+	}
+}

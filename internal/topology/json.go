@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"hfc/internal/graph"
+)
+
+// jsonTopology is the serialized wire form of a Topology.
+type jsonTopology struct {
+	Nodes          []jsonNode `json:"nodes"`
+	Edges          []jsonEdge `json:"edges"`
+	TransitDomains int        `json:"transit_domains"`
+	StubDomains    int        `json:"stub_domains"`
+}
+
+type jsonNode struct {
+	ID            int    `json:"id"`
+	Kind          string `json:"kind"`
+	TransitDomain int    `json:"transit_domain"`
+	StubDomain    int    `json:"stub_domain"`
+}
+
+type jsonEdge struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	DelayMs   float64 `json:"delay_ms"`
+	Bandwidth float64 `json:"bandwidth_mbps,omitempty"`
+}
+
+// WriteJSON serializes the topology (structure, delays, node metadata, and
+// the bandwidth model when present) to w as indented JSON.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	if t == nil || t.Graph == nil {
+		return errors.New("topology: nil topology")
+	}
+	jt := jsonTopology{
+		TransitDomains: t.NumTransitDomains,
+		StubDomains:    t.NumStubDomains,
+	}
+	for _, n := range t.Nodes {
+		jt.Nodes = append(jt.Nodes, jsonNode{
+			ID:            n.ID,
+			Kind:          n.Kind.String(),
+			TransitDomain: n.TransitDomain,
+			StubDomain:    n.StubDomain,
+		})
+	}
+	delayEdges := t.Graph.Edges()
+	var bwEdges []graph.Edge
+	if t.BandwidthGraph != nil {
+		bwEdges = t.BandwidthGraph.Edges()
+		if len(bwEdges) != len(delayEdges) {
+			return fmt.Errorf("topology: bandwidth graph has %d edges, delay graph %d", len(bwEdges), len(delayEdges))
+		}
+	}
+	for i, e := range delayEdges {
+		je := jsonEdge{From: e.From, To: e.To, DelayMs: e.Weight}
+		if bwEdges != nil {
+			// Edges() reports undirected edges in deterministic adjacency
+			// order, and both graphs were built with identical inserts, so
+			// positions correspond.
+			if bwEdges[i].From != e.From || bwEdges[i].To != e.To {
+				return fmt.Errorf("topology: bandwidth edge %d is (%d,%d), delay edge is (%d,%d)",
+					i, bwEdges[i].From, bwEdges[i].To, e.From, e.To)
+			}
+			je.Bandwidth = bwEdges[i].Weight
+		}
+		jt.Edges = append(jt.Edges, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// ReadJSON deserializes a topology written by WriteJSON, validating node
+// IDs, kinds, and edge endpoints.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var jt jsonTopology
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("topology: decoding: %w", err)
+	}
+	n := len(jt.Nodes)
+	if n == 0 {
+		return nil, errors.New("topology: no nodes in input")
+	}
+	nodes := make([]Node, n)
+	for i, jn := range jt.Nodes {
+		if jn.ID != i {
+			return nil, fmt.Errorf("topology: node %d has ID %d (IDs must be dense and ordered)", i, jn.ID)
+		}
+		var kind NodeKind
+		switch jn.Kind {
+		case "transit":
+			kind = KindTransit
+		case "stub":
+			kind = KindStub
+		default:
+			return nil, fmt.Errorf("topology: node %d has unknown kind %q", i, jn.Kind)
+		}
+		nodes[i] = Node{ID: jn.ID, Kind: kind, TransitDomain: jn.TransitDomain, StubDomain: jn.StubDomain}
+	}
+	g := graph.New(n, false)
+	hasBW := false
+	for _, je := range jt.Edges {
+		if je.Bandwidth > 0 {
+			hasBW = true
+			break
+		}
+	}
+	var bwG *graph.Graph
+	if hasBW {
+		bwG = graph.New(n, false)
+	}
+	for i, je := range jt.Edges {
+		if err := g.AddEdge(je.From, je.To, je.DelayMs); err != nil {
+			return nil, fmt.Errorf("topology: edge %d: %w", i, err)
+		}
+		if bwG != nil {
+			if je.Bandwidth <= 0 {
+				return nil, fmt.Errorf("topology: edge %d missing bandwidth in a bandwidth-modelled topology", i)
+			}
+			if err := bwG.AddEdge(je.From, je.To, je.Bandwidth); err != nil {
+				return nil, fmt.Errorf("topology: edge %d: %w", i, err)
+			}
+		}
+	}
+	return &Topology{
+		Graph:             g,
+		BandwidthGraph:    bwG,
+		Nodes:             nodes,
+		NumTransitDomains: jt.TransitDomains,
+		NumStubDomains:    jt.StubDomains,
+	}, nil
+}

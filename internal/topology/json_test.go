@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig, err := GenerateTransitStub(rng, DefaultTransitStubConfig())
+	if err != nil {
+		t.Fatalf("GenerateTransitStub: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.N() != orig.N() {
+		t.Fatalf("N = %d, want %d", got.N(), orig.N())
+	}
+	if got.NumTransitDomains != orig.NumTransitDomains || got.NumStubDomains != orig.NumStubDomains {
+		t.Errorf("domain counts differ: (%d,%d) vs (%d,%d)",
+			got.NumTransitDomains, got.NumStubDomains, orig.NumTransitDomains, orig.NumStubDomains)
+	}
+	for i := range orig.Nodes {
+		if got.Nodes[i] != orig.Nodes[i] {
+			t.Fatalf("node %d = %+v, want %+v", i, got.Nodes[i], orig.Nodes[i])
+		}
+	}
+	oe, ge := orig.Graph.Edges(), got.Graph.Edges()
+	if len(oe) != len(ge) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ge), len(oe))
+	}
+	for i := range oe {
+		if oe[i] != ge[i] {
+			t.Fatalf("edge %d = %v, want %v", i, ge[i], oe[i])
+		}
+	}
+	if got.BandwidthGraph == nil {
+		t.Fatal("bandwidth graph lost in round trip")
+	}
+	ob, gb := orig.BandwidthGraph.Edges(), got.BandwidthGraph.Edges()
+	for i := range ob {
+		if ob[i] != gb[i] {
+			t.Fatalf("bandwidth edge %d = %v, want %v", i, gb[i], ob[i])
+		}
+	}
+}
+
+func TestJSONRoundTripWithoutBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig, err := GenerateFlatRandom(rng, 20, 0.2, DelayRange{Lo: 1, Hi: 5})
+	if err != nil {
+		t.Fatalf("GenerateFlatRandom: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.BandwidthGraph != nil {
+		t.Error("bandwidth graph invented from nothing")
+	}
+	if got.N() != 20 {
+		t.Errorf("N = %d, want 20", got.N())
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"garbage", "not json"},
+		{"empty", `{"nodes":[],"edges":[]}`},
+		{"bad kind", `{"nodes":[{"id":0,"kind":"router"}],"edges":[]}`},
+		{"non-dense ids", `{"nodes":[{"id":5,"kind":"stub"}],"edges":[]}`},
+		{"edge out of range", `{"nodes":[{"id":0,"kind":"stub"}],"edges":[{"from":0,"to":7,"delay_ms":1}]}`},
+		{"negative delay", `{"nodes":[{"id":0,"kind":"stub"},{"id":1,"kind":"stub"}],"edges":[{"from":0,"to":1,"delay_ms":-1}]}`},
+		{"partial bandwidth", `{"nodes":[{"id":0,"kind":"stub"},{"id":1,"kind":"stub"},{"id":2,"kind":"stub"}],"edges":[{"from":0,"to":1,"delay_ms":1,"bandwidth_mbps":10},{"from":1,"to":2,"delay_ms":1}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c.input)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWriteJSONNil(t *testing.T) {
+	var buf bytes.Buffer
+	var topo *Topology
+	if err := topo.WriteJSON(&buf); err == nil {
+		t.Error("nil topology accepted")
+	}
+}

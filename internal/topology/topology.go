@@ -1,0 +1,479 @@
+// Package topology generates simulated Internet topologies. Its centerpiece
+// is the transit-stub model of Zegura, Calvert and Bhattacharjee ("How to
+// Model an Internetwork", INFOCOM 1996), which the paper uses (via GT-ITM and
+// ns-2) as the physical substrate for all of its experiments. Flat random and
+// Waxman generators are provided for comparison and testing.
+//
+// A Topology couples an undirected weighted graph (edge weights are one-way
+// propagation delays, in milliseconds) with per-node metadata describing the
+// transit/stub role of each node. All generation is driven by an explicit
+// *rand.Rand so experiments are reproducible.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hfc/internal/graph"
+)
+
+// NodeKind distinguishes backbone (transit) routers from edge (stub) routers.
+type NodeKind int
+
+// Node kinds. Enums start at one so the zero value is invalid, per style.
+const (
+	KindTransit NodeKind = iota + 1
+	KindStub
+)
+
+// String returns a short human-readable label.
+func (k NodeKind) String() string {
+	switch k {
+	case KindTransit:
+		return "transit"
+	case KindStub:
+		return "stub"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is the metadata record of a topology vertex.
+type Node struct {
+	// ID is the vertex index in the topology graph.
+	ID int
+	// Kind is the node's role.
+	Kind NodeKind
+	// TransitDomain is the index of the transit domain this node belongs
+	// to (for stub nodes: the domain of the transit node they hang off).
+	TransitDomain int
+	// StubDomain is the global index of the node's stub domain, or -1 for
+	// transit nodes.
+	StubDomain int
+}
+
+// Topology is a generated physical network.
+type Topology struct {
+	// Graph holds the link structure; weights are propagation delays (ms).
+	Graph *graph.Graph
+	// BandwidthGraph mirrors Graph's structure exactly (same vertices,
+	// same insertion order) with link capacities in Mbps as weights. It
+	// supports the QoS extension (§7 future work); generators that do not
+	// model bandwidth leave it nil.
+	BandwidthGraph *graph.Graph
+	// Nodes holds per-vertex metadata, indexed by vertex ID.
+	Nodes []Node
+	// NumTransitDomains and NumStubDomains describe the domain structure
+	// (both zero for flat generators).
+	NumTransitDomains int
+	NumStubDomains    int
+}
+
+// LinkBandwidth returns the largest capacity among the direct links between
+// u and v, or 0 when no direct link (or no bandwidth model) exists.
+func (t *Topology) LinkBandwidth(u, v int) float64 {
+	if t.BandwidthGraph == nil {
+		return 0
+	}
+	best := 0.0
+	t.BandwidthGraph.Neighbors(u, func(w int, bw float64) {
+		if w == v && bw > best {
+			best = bw
+		}
+	})
+	return best
+}
+
+// StubNodes returns the IDs of all stub nodes, in increasing order. For flat
+// topologies (no domain structure) it returns all node IDs, since every node
+// is an eligible overlay host.
+func (t *Topology) StubNodes() []int {
+	var out []int
+	for _, n := range t.Nodes {
+		if n.Kind == KindStub {
+			out = append(out, n.ID)
+		}
+	}
+	if out == nil {
+		for _, n := range t.Nodes {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return t.Graph.N() }
+
+// DelayRange is an inclusive range of link delays in milliseconds.
+type DelayRange struct {
+	Lo, Hi float64
+}
+
+func (r DelayRange) sample(rng *rand.Rand) float64 {
+	if r.Hi <= r.Lo {
+		return r.Lo
+	}
+	return r.Lo + rng.Float64()*(r.Hi-r.Lo)
+}
+
+func (r DelayRange) valid() bool { return r.Lo > 0 && r.Hi >= r.Lo }
+
+// TransitStubConfig parameterizes the transit-stub generator. Total node
+// count is TransitDomains · TransitNodesPerDomain · (1 + StubsPerTransitNode
+// · StubNodesPerDomain).
+type TransitStubConfig struct {
+	// TransitDomains is the number of backbone domains (≥ 1).
+	TransitDomains int
+	// TransitNodesPerDomain is the number of routers per backbone domain
+	// (≥ 1).
+	TransitNodesPerDomain int
+	// StubsPerTransitNode is the number of stub domains attached to each
+	// transit node (≥ 0).
+	StubsPerTransitNode int
+	// StubNodesPerDomain is the number of nodes per stub domain (≥ 1).
+	StubNodesPerDomain int
+	// ExtraIntraTransitEdgeProb adds redundancy inside transit domains
+	// beyond the spanning tree (0..1).
+	ExtraIntraTransitEdgeProb float64
+	// ExtraIntraStubEdgeProb adds redundancy inside stub domains (0..1).
+	ExtraIntraStubEdgeProb float64
+	// Delay classes for the four link types. The hierarchy
+	// InterTransit > IntraTransit > TransitStub > IntraStub mirrors
+	// real Internet delay structure and is what gives overlay nodes the
+	// clusterable distance structure the paper exploits.
+	InterTransitDelay DelayRange
+	IntraTransitDelay DelayRange
+	TransitStubDelay  DelayRange
+	IntraStubDelay    DelayRange
+	// Bandwidth classes (Mbps) for the same four link types, used by the
+	// QoS extension: fat core links, thin edge links.
+	InterTransitBandwidth DelayRange
+	IntraTransitBandwidth DelayRange
+	TransitStubBandwidth  DelayRange
+	IntraStubBandwidth    DelayRange
+}
+
+// DefaultTransitStubConfig returns the delay classes and redundancy used
+// throughout the reproduction, with the domain counts left for the caller.
+func DefaultTransitStubConfig() TransitStubConfig {
+	return TransitStubConfig{
+		TransitDomains:            3,
+		TransitNodesPerDomain:     4,
+		StubsPerTransitNode:       3,
+		StubNodesPerDomain:        8,
+		ExtraIntraTransitEdgeProb: 0.4,
+		ExtraIntraStubEdgeProb:    0.25,
+		InterTransitDelay:         DelayRange{Lo: 20, Hi: 60},
+		IntraTransitDelay:         DelayRange{Lo: 8, Hi: 25},
+		TransitStubDelay:          DelayRange{Lo: 2, Hi: 10},
+		IntraStubDelay:            DelayRange{Lo: 0.5, Hi: 4},
+		InterTransitBandwidth:     DelayRange{Lo: 1000, Hi: 2500},
+		IntraTransitBandwidth:     DelayRange{Lo: 600, Hi: 1500},
+		TransitStubBandwidth:      DelayRange{Lo: 100, Hi: 400},
+		IntraStubBandwidth:        DelayRange{Lo: 20, Hi: 100},
+	}
+}
+
+// ConfigForSize returns a transit-stub configuration whose total node count
+// approximates target (≥ 100), scaling the number of transit domains while
+// keeping per-domain structure fixed. With the default per-domain structure
+// each transit domain contributes 100 nodes, so the paper's physical sizes
+// {300, 600, 900, 1200} map to {3, 6, 9, 12} transit domains exactly.
+func ConfigForSize(target int) (TransitStubConfig, error) {
+	if target < 100 {
+		return TransitStubConfig{}, fmt.Errorf("topology: target size %d below minimum 100", target)
+	}
+	cfg := DefaultTransitStubConfig()
+	perDomain := cfg.TransitNodesPerDomain * (1 + cfg.StubsPerTransitNode*cfg.StubNodesPerDomain)
+	cfg.TransitDomains = (target + perDomain/2) / perDomain
+	if cfg.TransitDomains < 1 {
+		cfg.TransitDomains = 1
+	}
+	return cfg, nil
+}
+
+// TotalNodes returns the node count the configuration will generate.
+func (c TransitStubConfig) TotalNodes() int {
+	return c.TransitDomains * c.TransitNodesPerDomain * (1 + c.StubsPerTransitNode*c.StubNodesPerDomain)
+}
+
+func (c TransitStubConfig) validate() error {
+	switch {
+	case c.TransitDomains < 1:
+		return errors.New("topology: TransitDomains must be >= 1")
+	case c.TransitNodesPerDomain < 1:
+		return errors.New("topology: TransitNodesPerDomain must be >= 1")
+	case c.StubsPerTransitNode < 0:
+		return errors.New("topology: StubsPerTransitNode must be >= 0")
+	case c.StubsPerTransitNode > 0 && c.StubNodesPerDomain < 1:
+		return errors.New("topology: StubNodesPerDomain must be >= 1 when stubs are attached")
+	case !c.InterTransitDelay.valid(), !c.IntraTransitDelay.valid(),
+		!c.TransitStubDelay.valid(), !c.IntraStubDelay.valid():
+		return errors.New("topology: delay ranges must satisfy 0 < Lo <= Hi")
+	}
+	if c.modelsBandwidth() {
+		if !c.InterTransitBandwidth.valid() || !c.IntraTransitBandwidth.valid() ||
+			!c.TransitStubBandwidth.valid() || !c.IntraStubBandwidth.valid() {
+			return errors.New("topology: bandwidth ranges must either all be zero or all satisfy 0 < Lo <= Hi")
+		}
+	}
+	return nil
+}
+
+// modelsBandwidth reports whether any bandwidth class is configured.
+func (c TransitStubConfig) modelsBandwidth() bool {
+	zero := DelayRange{}
+	return c.InterTransitBandwidth != zero || c.IntraTransitBandwidth != zero ||
+		c.TransitStubBandwidth != zero || c.IntraStubBandwidth != zero
+}
+
+// GenerateTransitStub builds a connected transit-stub topology. Inside each
+// domain the nodes are connected by a random spanning tree plus extra random
+// edges; transit domains are themselves connected by a random spanning tree
+// over domains plus redundant inter-domain links; each stub domain attaches
+// to its transit node by a single access link.
+func GenerateTransitStub(rng *rand.Rand, cfg TransitStubConfig) (*Topology, error) {
+	if rng == nil {
+		return nil, errors.New("topology: nil rng")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	total := cfg.TotalNodes()
+	g := graph.New(total, false)
+	var bwG *graph.Graph
+	if cfg.modelsBandwidth() {
+		bwG = graph.New(total, false)
+	}
+	nodes := make([]Node, 0, total)
+
+	// addEdge inserts the link into the delay graph and, when bandwidth is
+	// modelled, a structurally identical edge into the bandwidth graph.
+	addEdge := func(u, v int, delays, bws DelayRange) error {
+		if err := g.AddEdge(u, v, delays.sample(rng)); err != nil {
+			return fmt.Errorf("topology: %w", err)
+		}
+		if bwG != nil {
+			if err := bwG.AddEdge(u, v, bws.sample(rng)); err != nil {
+				return fmt.Errorf("topology: %w", err)
+			}
+		}
+		return nil
+	}
+
+	// Allocate transit nodes first: domain d owns IDs
+	// [d·NT, (d+1)·NT).
+	nt := cfg.TransitNodesPerDomain
+	for d := 0; d < cfg.TransitDomains; d++ {
+		for i := 0; i < nt; i++ {
+			nodes = append(nodes, Node{
+				ID:            d*nt + i,
+				Kind:          KindTransit,
+				TransitDomain: d,
+				StubDomain:    -1,
+			})
+		}
+	}
+
+	// Intra-transit-domain connectivity.
+	for d := 0; d < cfg.TransitDomains; d++ {
+		base := d * nt
+		if err := connectRandomly(rng, addEdge, base, nt, cfg.IntraTransitDelay, cfg.IntraTransitBandwidth, cfg.ExtraIntraTransitEdgeProb); err != nil {
+			return nil, err
+		}
+	}
+
+	// Inter-transit-domain connectivity: random spanning tree over domains
+	// plus one redundant link per extra domain pair with probability 0.3.
+	if cfg.TransitDomains > 1 {
+		order := rng.Perm(cfg.TransitDomains)
+		for i := 1; i < len(order); i++ {
+			a := order[rng.Intn(i)]
+			b := order[i]
+			if err := addEdge(a*nt+rng.Intn(nt), b*nt+rng.Intn(nt), cfg.InterTransitDelay, cfg.InterTransitBandwidth); err != nil {
+				return nil, err
+			}
+		}
+		for a := 0; a < cfg.TransitDomains; a++ {
+			for b := a + 1; b < cfg.TransitDomains; b++ {
+				if rng.Float64() < 0.3 {
+					if err := addEdge(a*nt+rng.Intn(nt), b*nt+rng.Intn(nt), cfg.InterTransitDelay, cfg.InterTransitBandwidth); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Stub domains.
+	next := cfg.TransitDomains * nt
+	stubDomain := 0
+	for d := 0; d < cfg.TransitDomains; d++ {
+		for i := 0; i < nt; i++ {
+			transitID := d*nt + i
+			for s := 0; s < cfg.StubsPerTransitNode; s++ {
+				base := next
+				for j := 0; j < cfg.StubNodesPerDomain; j++ {
+					nodes = append(nodes, Node{
+						ID:            base + j,
+						Kind:          KindStub,
+						TransitDomain: d,
+						StubDomain:    stubDomain,
+					})
+				}
+				next += cfg.StubNodesPerDomain
+				if err := connectRandomly(rng, addEdge, base, cfg.StubNodesPerDomain, cfg.IntraStubDelay, cfg.IntraStubBandwidth, cfg.ExtraIntraStubEdgeProb); err != nil {
+					return nil, err
+				}
+				// Access link from a random stub node to the transit node.
+				if err := addEdge(transitID, base+rng.Intn(cfg.StubNodesPerDomain), cfg.TransitStubDelay, cfg.TransitStubBandwidth); err != nil {
+					return nil, err
+				}
+				stubDomain++
+			}
+		}
+	}
+
+	topo := &Topology{
+		Graph:             g,
+		BandwidthGraph:    bwG,
+		Nodes:             nodes,
+		NumTransitDomains: cfg.TransitDomains,
+		NumStubDomains:    stubDomain,
+	}
+	if !g.Connected() {
+		// Construction guarantees connectivity; reaching here indicates a
+		// bug, but we surface it as an error rather than panicking.
+		return nil, errors.New("topology: generated transit-stub graph is disconnected")
+	}
+	return topo, nil
+}
+
+// connectRandomly wires the n nodes [base, base+n) into a random spanning
+// tree and then adds each remaining pair with probability extraProb. Edges
+// are inserted through addEdge so delay and bandwidth stay paired.
+func connectRandomly(rng *rand.Rand, addEdge func(u, v int, delays, bws DelayRange) error, base, n int, delays, bws DelayRange, extraProb float64) error {
+	if n == 1 {
+		return nil
+	}
+	perm := rng.Perm(n)
+	inTree := make(map[[2]int]bool, n-1)
+	for i := 1; i < n; i++ {
+		u := base + perm[rng.Intn(i)]
+		v := base + perm[i]
+		if err := addEdge(u, v, delays, bws); err != nil {
+			return err
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		inTree[[2]int{a, b}] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if inTree[[2]int{base + i, base + j}] {
+				continue
+			}
+			if rng.Float64() < extraProb {
+				if err := addEdge(base+i, base+j, delays, bws); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateWaxman builds a flat Waxman random graph: n nodes scattered
+// uniformly on a plane of the given side length, with each pair (u,v) linked
+// with probability alpha·exp(−d(u,v)/(beta·L√2)), and delays proportional to
+// Euclidean distance. Connectivity is ensured by adding a random spanning
+// tree first.
+func GenerateWaxman(rng *rand.Rand, n int, side, alpha, beta float64) (*Topology, error) {
+	if rng == nil {
+		return nil, errors.New("topology: nil rng")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: node count %d must be >= 1", n)
+	}
+	if side <= 0 || alpha <= 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("topology: invalid waxman parameters side=%v alpha=%v beta=%v", side, alpha, beta)
+	}
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * side, rng.Float64() * side}
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(pts[i][0]-pts[j][0], pts[i][1]-pts[j][1])
+	}
+	g := graph.New(n, false)
+	// Delay is distance-proportional: 0.05 ms per unit, floored so that no
+	// link is free.
+	delay := func(d float64) float64 { return math.Max(0.05*d, 0.1) }
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := perm[rng.Intn(i)], perm[i]
+		if err := g.AddEdge(u, v, delay(dist(u, v))); err != nil {
+			return nil, fmt.Errorf("topology: %w", err)
+		}
+	}
+	maxD := side * math.Sqrt2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < alpha*math.Exp(-dist(i, j)/(beta*maxD)) {
+				if err := g.AddEdge(i, j, delay(dist(i, j))); err != nil {
+					return nil, fmt.Errorf("topology: %w", err)
+				}
+			}
+		}
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: i, Kind: KindStub, TransitDomain: -1, StubDomain: -1}
+	}
+	return &Topology{Graph: g, Nodes: nodes}, nil
+}
+
+// GenerateFlatRandom builds a connected Erdős–Rényi-style graph with uniform
+// random delays in the given range. It is used as a structureless control in
+// tests: distance-based clustering should find little structure in it.
+func GenerateFlatRandom(rng *rand.Rand, n int, edgeProb float64, delays DelayRange) (*Topology, error) {
+	if rng == nil {
+		return nil, errors.New("topology: nil rng")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: node count %d must be >= 1", n)
+	}
+	if edgeProb < 0 || edgeProb > 1 {
+		return nil, fmt.Errorf("topology: edge probability %v out of [0,1]", edgeProb)
+	}
+	if !delays.valid() {
+		return nil, errors.New("topology: delay range must satisfy 0 < Lo <= Hi")
+	}
+	g := graph.New(n, false)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(perm[rng.Intn(i)], perm[i], delays.sample(rng)); err != nil {
+			return nil, fmt.Errorf("topology: %w", err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < edgeProb {
+				if err := g.AddEdge(i, j, delays.sample(rng)); err != nil {
+					return nil, fmt.Errorf("topology: %w", err)
+				}
+			}
+		}
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: i, Kind: KindStub, TransitDomain: -1, StubDomain: -1}
+	}
+	return &Topology{Graph: g, Nodes: nodes}, nil
+}
