@@ -9,8 +9,8 @@
 //	experiments -run ablation-k,ablation-relax
 //
 // Runs: table1, fig9a, fig9b, fig10, messages, qos, multilevel,
-// convergence, ablation-k, ablation-dim, ablation-relax, ablation-border,
-// ablation-landmarks, ablation-churn.
+// convergence, faults, ablation-k, ablation-dim, ablation-relax,
+// ablation-border, ablation-landmarks, ablation-churn.
 package main
 
 import (
@@ -32,7 +32,7 @@ func main() {
 }
 
 func run() error {
-	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
+	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	full := flag.Bool("full", false, "paper-scale sample sizes (5 trials, 1000 requests; takes minutes)")
 	trials := flag.Int("trials", 0, "override trial count")
@@ -215,6 +215,26 @@ func run() error {
 				return err
 			}
 			fmt.Print(experiments.FormatConvergence(rows))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if section("faults") {
+		if err := timed("faults", func() error {
+			spec := ablSpec
+			spec.Proxies = 120
+			rows, err := experiments.RunFaults(spec, []float64{0, 0.05, 0.10, 0.20}, nTrials, nRequests)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFaults(rows))
+			fmt.Println()
+			frows, err := experiments.RunBorderFailover(spec, nTrials+1, nRequests/2+1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatBorderFailover(frows))
 			return nil
 		}); err != nil {
 			return err

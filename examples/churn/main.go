@@ -107,6 +107,128 @@ func run() error {
 			return err
 		}
 	}
+
+	// Final phase: node crashes on the churned membership — fail-stop a
+	// border proxy plus some regular proxies, keep routing through backup
+	// borders and live providers, then recover everyone.
+	return w.faultDrill()
+}
+
+// faultDrill crashes a primary border proxy and two regular proxies on the
+// current membership, shows the overlay re-converging (modulo the crashed
+// set) and routing around the failures, then recovers the nodes and
+// re-verifies strict convergence.
+func (w *world) faultDrill() error {
+	cmap, err := coords.NewMap(w.points)
+	if err != nil {
+		return err
+	}
+	clustering, err := cluster.Cluster(len(w.points), cmap.Dist, cluster.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	topo, err := hfc.Build(cmap, clustering)
+	if err != nil {
+		return err
+	}
+	sys, err := overlay.New(topo, w.caps, overlay.Config{})
+	if err != nil {
+		return err
+	}
+	if err := sys.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := sys.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "churn: stop:", err)
+		}
+	}()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+	sys.TriggerStateRound()
+	sys.Quiesce()
+
+	// Crash one primary border proxy and two proxies with no border duty.
+	victims := topo.BorderNodes()[:1]
+	onDuty := map[int]bool{}
+	for _, b := range topo.BorderNodes() {
+		onDuty[b] = true
+	}
+	for _, b := range topo.BackupBorderNodes() {
+		onDuty[b] = true
+	}
+	for i := 0; i < topo.N() && len(victims) < 3; i++ {
+		if !onDuty[i] {
+			victims = append(victims, i)
+		}
+	}
+	for _, v := range victims {
+		if err := sys.Crash(v); err != nil {
+			return err
+		}
+	}
+	rounds := 0
+	for r := 1; r <= 10; r++ {
+		sys.TriggerStateRound()
+		sys.Quiesce()
+		ok, err := sys.ConvergedLive()
+		if err != nil {
+			return err
+		}
+		if ok {
+			rounds = r
+			break
+		}
+	}
+	if rounds == 0 {
+		return fmt.Errorf("fault drill: no re-convergence within 10 rounds")
+	}
+	fmt.Printf("fault drill: crashed %v (border %d), re-converged in %d round(s)\n",
+		victims, victims[0], rounds)
+
+	gen, err := svc.NewRequestGenerator(w.rng, w.caps, 2, 5)
+	if err != nil {
+		return err
+	}
+	routed := 0
+	for i := 0; i < 20; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			return err
+		}
+		if sys.IsCrashed(req.Source) || sys.IsCrashed(req.Dest) {
+			continue
+		}
+		res, err := sys.Route(req)
+		if err != nil {
+			return fmt.Errorf("fault drill request %d: %w", i, err)
+		}
+		if err := res.Path.Validate(req, w.caps); err != nil {
+			return fmt.Errorf("fault drill request %d: %w", i, err)
+		}
+		routed++
+	}
+	fc := sys.FaultCounters()
+	fmt.Printf("  routed %d requests around the crashes (%d sends dropped at crashed nodes)\n",
+		routed, fc.DroppedToCrashed)
+
+	for _, v := range victims {
+		if err := sys.Recover(v); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < 3; r++ {
+		sys.TriggerStateRound()
+		sys.Quiesce()
+	}
+	ok, err := sys.Converged()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("fault drill: no strict convergence after recovery")
+	}
+	fmt.Println("  recovered all; strict convergence restored")
 	return nil
 }
 

@@ -11,7 +11,8 @@ import (
 
 // ConvergenceRow is one loss rate of the protocol-resilience experiment.
 type ConvergenceRow struct {
-	// DropRate is the injected per-message loss probability.
+	// DropRate is the injected per-message loss probability for
+	// state-protocol traffic (overlay.Config.ProtocolDropRate).
 	DropRate float64
 	// MeanRounds and MaxRounds summarize protocol rounds until full
 	// convergence across trials (a round is one TriggerStateRound +
@@ -48,8 +49,8 @@ func RunConvergence(spec env.Spec, dropRates []float64, trials, maxRounds int) (
 		var rounds, dropped []float64
 		for trial := 0; trial < trials; trial++ {
 			sys, err := overlay.New(topo, caps, overlay.Config{
-				DropRate: rate,
-				DropSeed: spec.Seed + int64(trial)*101,
+				ProtocolDropRate: rate,
+				DropSeed:         spec.Seed + int64(trial)*101,
 			})
 			if err != nil {
 				return nil, err

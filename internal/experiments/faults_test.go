@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hfc/internal/env"
+)
+
+func TestRunFaults(t *testing.T) {
+	spec := env.SmallSpec(601)
+	rows, err := RunFaults(spec, []float64{0, 0.10}, 1, 30)
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	clean, faulted := rows[0], rows[1]
+	if clean.SuccessRate != 1 || clean.CrashedPerTrial != 0 {
+		t.Errorf("fault-free row = %+v, want 100%% success, 0 crashed", clean)
+	}
+	if clean.Stretch < 0.999 || clean.Stretch > 1.001 {
+		t.Errorf("fault-free stretch %v, want 1.0", clean.Stretch)
+	}
+	if faulted.CrashedPerTrial == 0 {
+		t.Error("10% row crashed nobody")
+	}
+	// The issue's acceptance bar: >= 95% of requests survive 10% of
+	// (non-border) nodes crashing.
+	if faulted.SuccessRate < 0.95 {
+		t.Errorf("success rate %.3f at 10%% crashes, want >= 0.95", faulted.SuccessRate)
+	}
+	if faulted.Stretch < 0.999 {
+		t.Errorf("faulted stretch %v below 1: shorter than the no-fault baseline", faulted.Stretch)
+	}
+	if !strings.Contains(FormatFaults(rows), "crash frac") {
+		t.Error("FormatFaults missing header")
+	}
+}
+
+func TestRunBorderFailover(t *testing.T) {
+	spec := env.SmallSpec(602)
+	rows, err := RunBorderFailover(spec, 2, 20)
+	if err != nil {
+		t.Fatalf("RunBorderFailover: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Bounded re-convergence through the backup pair, and requests
+		// keep flowing while the primary border is down.
+		if r.ReconvergeRounds >= convergeCap {
+			t.Errorf("pair %d<->%d: no re-convergence within %d rounds", r.ClusterA, r.ClusterB, convergeCap)
+		}
+		if r.SuccessRate < 0.95 {
+			t.Errorf("pair %d<->%d: success rate %.3f with crashed border, want >= 0.95", r.ClusterA, r.ClusterB, r.SuccessRate)
+		}
+		if r.RecoverRounds >= convergeCap {
+			t.Errorf("pair %d<->%d: no strict convergence within %d rounds after recovery", r.ClusterA, r.ClusterB, convergeCap)
+		}
+	}
+	if !strings.Contains(FormatBorderFailover(rows), "reconverge") {
+		t.Error("FormatBorderFailover missing header")
+	}
+}
+
+func TestRunFaultsValidation(t *testing.T) {
+	spec := env.SmallSpec(1)
+	if _, err := RunFaults(spec, nil, 1, 5); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := RunFaults(spec, []float64{0}, 0, 5); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunFaults(spec, []float64{1.5}, 1, 5); err == nil {
+		t.Error("crash fraction 1.5 accepted")
+	}
+	if _, err := RunBorderFailover(spec, 0, 5); err == nil {
+		t.Error("zero trials accepted")
+	}
+}

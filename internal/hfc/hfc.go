@@ -31,14 +31,29 @@ type Topology struct {
 	// borders maps a normalized cluster-ID pair {lo, hi} to its border
 	// pair.
 	borders map[[2]int]BorderPair
-	// borderNodes is the sorted set of all border proxies in the system.
+	// backups maps a normalized cluster-ID pair {lo, hi} to its ranked
+	// backup border pairs: successive closest cross pairs that are
+	// node-disjoint from every earlier pair for the same cluster pair, so
+	// a crashed primary endpoint never disables the first backup too.
+	backups map[[2]int][]BorderPair
+	// borderNodes is the sorted set of all primary border proxies in the
+	// system; backupNodes is the sorted set of nodes that appear only in
+	// backup pairs (the two sets may overlap across different cluster
+	// pairs — backupNodes is reported as computed, without subtracting
+	// borderNodes).
 	borderNodes []int
+	backupNodes []int
 	// borderNodesByCluster[c] lists cluster c's border proxies, sorted.
 	borderNodesByCluster map[int][]int
 	// borderInA[a][b] is the border node of cluster a toward cluster b
 	// (-1 on the diagonal); a dense mirror of borders for hot paths.
 	borderInA [][]int
 }
+
+// MaxBackupBorders is how many backup border pairs Build precomputes per
+// cluster pair (fewer when the clusters are too small to supply disjoint
+// pairs).
+const MaxBackupBorders = 2
 
 // Build constructs the HFC topology from an embedded coordinate map and a
 // clustering of the same node set. Border pairs are chosen per §3.3: for
@@ -54,6 +69,42 @@ func sortedKeys(set map[int]bool) []int {
 		out = append(out, v)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// backupPairs ranks the backup border pairs between two member lists:
+// repeatedly the closest cross pair whose endpoints are node-disjoint from
+// every pair chosen so far (primary included). Disjointness guarantees the
+// first backup survives any single crash among the primary's endpoints;
+// small clusters yield fewer (possibly zero) backups.
+func backupPairs(cmap *coords.Map, membersA, membersB []int, primary BorderPair, max int) []BorderPair {
+	used := map[int]bool{primary.Low: true, primary.High: true}
+	var out []BorderPair
+	for len(out) < max {
+		best := BorderPair{Low: -1, High: -1}
+		bestDist := 0.0
+		for _, a := range membersA {
+			if used[a] {
+				continue
+			}
+			for _, b := range membersB {
+				if used[b] {
+					continue
+				}
+				d := cmap.Dist(a, b)
+				if best.Low == -1 || d < bestDist ||
+					(d == bestDist && (a < best.Low || (a == best.Low && b < best.High))) {
+					best = BorderPair{Low: a, High: b}
+					bestDist = d
+				}
+			}
+		}
+		if best.Low == -1 {
+			break
+		}
+		used[best.Low], used[best.High] = true, true
+		out = append(out, best)
+	}
 	return out
 }
 
@@ -114,6 +165,32 @@ func (t *Topology) Border(a, b int) (inA, inB int, err error) {
 	return t.borderInA[a][b], t.borderInA[b][a], nil
 }
 
+// BackupBorders returns the ranked backup border pairs between two distinct
+// clusters, each oriented as {inA, inB}. The list may be empty when the
+// clusters are too small to supply node-disjoint spares.
+func (t *Topology) BackupBorders(a, b int) ([][2]int, error) {
+	if a == b {
+		return nil, fmt.Errorf("hfc: no border pairs within a single cluster %d", a)
+	}
+	if a < 0 || a >= len(t.borderInA) || b < 0 || b >= len(t.borderInA) {
+		return nil, fmt.Errorf("hfc: no border pairs for clusters (%d,%d)", a, b)
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	pairs := t.backups[[2]int{lo, hi}]
+	out := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		if a == lo {
+			out[i] = [2]int{p.Low, p.High}
+		} else {
+			out[i] = [2]int{p.High, p.Low}
+		}
+	}
+	return out, nil
+}
+
 // ConstrainedDist returns the length of the HFC overlay hop path from u to
 // v without allocating: direct embedded distance within a cluster, and the
 // through-the-borders sum across clusters. It is the hot-path form of
@@ -144,9 +221,13 @@ func (t *Topology) ExternalLinkLength(a, b int) (float64, error) {
 	return t.Dist(u, v), nil
 }
 
-// BorderNodes returns all border proxies in the system, sorted (shared
-// slice — do not modify).
+// BorderNodes returns all primary border proxies in the system, sorted
+// (shared slice — do not modify).
 func (t *Topology) BorderNodes() []int { return t.borderNodes }
+
+// BackupBorderNodes returns every node that serves in some backup border
+// pair, sorted (shared slice — do not modify).
+func (t *Topology) BackupBorderNodes() []int { return t.backupNodes }
 
 // BorderNodesOf returns cluster c's border proxies, sorted (shared slice —
 // do not modify). A single-cluster system has none.
@@ -243,6 +324,23 @@ func (t *Topology) Validate() error {
 			}
 			if t.Dist(u, v) > t.Dist(want.Low, want.High)+1e-12 {
 				return fmt.Errorf("hfc: border pair (%d,%d) is not the closest pair between clusters (%d,%d)", u, v, a, b)
+			}
+			// Backups: correctly clustered and node-disjoint from every
+			// earlier pair of the same cluster pair.
+			backs, err := t.BackupBorders(a, b)
+			if err != nil {
+				return err
+			}
+			usedNodes := map[int]bool{u: true, v: true}
+			for _, p := range backs {
+				if t.ClusterOf(p[0]) != a || t.ClusterOf(p[1]) != b {
+					return fmt.Errorf("hfc: backup pair (%d,%d) of clusters (%d,%d) lies in clusters (%d,%d)",
+						p[0], p[1], a, b, t.ClusterOf(p[0]), t.ClusterOf(p[1]))
+				}
+				if usedNodes[p[0]] || usedNodes[p[1]] {
+					return fmt.Errorf("hfc: backup pair (%d,%d) of clusters (%d,%d) reuses an earlier border node", p[0], p[1], a, b)
+				}
+				usedNodes[p[0]], usedNodes[p[1]] = true, true
 			}
 		}
 	}

@@ -99,10 +99,12 @@ func BuildWithSelector(cmap *coords.Map, clustering *cluster.Result, sel BorderS
 		coords:               cmap,
 		clustering:           clustering,
 		borders:              make(map[[2]int]BorderPair),
+		backups:              make(map[[2]int][]BorderPair),
 		borderNodesByCluster: make(map[int][]int),
 	}
 	k := clustering.NumClusters()
 	borderSet := make(map[int]bool)
+	backupSet := make(map[int]bool)
 	perCluster := make(map[int]map[int]bool)
 	t.borderInA = make([][]int, k)
 	for a := range t.borderInA {
@@ -123,19 +125,31 @@ func BuildWithSelector(cmap *coords.Map, clustering *cluster.Result, sel BorderS
 			t.borders[[2]int{a, b}] = pair
 			t.borderInA[a][b] = pair.Low
 			t.borderInA[b][a] = pair.High
-			borderSet[pair.Low] = true
-			borderSet[pair.High] = true
 			if perCluster[a] == nil {
 				perCluster[a] = make(map[int]bool)
 			}
 			if perCluster[b] == nil {
 				perCluster[b] = make(map[int]bool)
 			}
+			borderSet[pair.Low] = true
+			borderSet[pair.High] = true
 			perCluster[a][pair.Low] = true
 			perCluster[b][pair.High] = true
+			// Failover spares: ranked node-disjoint backups behind whatever
+			// pair the selector picked. They are tracked separately so the
+			// primary border metrics (Fig. 9, ablation A4) keep their
+			// meaning, but their coordinates travel in every node's view so
+			// failover routing can price the spare links.
+			backs := backupPairs(cmap, clustering.Clusters[a], clustering.Clusters[b], pair, MaxBackupBorders)
+			t.backups[[2]int{a, b}] = backs
+			for _, bp := range backs {
+				backupSet[bp.Low] = true
+				backupSet[bp.High] = true
+			}
 		}
 	}
 	t.borderNodes = sortedKeys(borderSet)
+	t.backupNodes = sortedKeys(backupSet)
 	for c, set := range perCluster {
 		t.borderNodesByCluster[c] = sortedKeys(set)
 	}

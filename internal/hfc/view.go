@@ -27,9 +27,17 @@ type NodeView struct {
 	// Borders maps every normalized cluster pair {lo, hi} to its border
 	// pair.
 	Borders map[[2]int]BorderPair
+	// BackupBorders maps every normalized cluster pair {lo, hi} to its
+	// ranked backup pairs (node-disjoint spares behind the primary).
+	BackupBorders map[[2]int][]BorderPair
 	// Coords holds the coordinates the node keeps: own cluster members
-	// and all border proxies.
+	// and all border proxies (backup borders included).
 	Coords map[int]coords.Point
+	// Alive, when non-nil, is the node's failure detector: Border skips
+	// pairs with a crashed endpoint and falls back to the next ranked
+	// pair. Nil means every node is presumed live (the fault-free primary
+	// behaviour).
+	Alive func(node int) bool
 }
 
 // View materializes the Fig. 4 information for one node.
@@ -39,20 +47,27 @@ func (t *Topology) View(node int) (*NodeView, error) {
 	}
 	c := t.ClusterOf(node)
 	v := &NodeView{
-		Node:        node,
-		ClusterID:   c,
-		Members:     append([]int(nil), t.Members(c)...),
-		NumClusters: t.NumClusters(),
-		Borders:     make(map[[2]int]BorderPair, len(t.borders)),
-		Coords:      make(map[int]coords.Point),
+		Node:          node,
+		ClusterID:     c,
+		Members:       append([]int(nil), t.Members(c)...),
+		NumClusters:   t.NumClusters(),
+		Borders:       make(map[[2]int]BorderPair, len(t.borders)),
+		BackupBorders: make(map[[2]int][]BorderPair, len(t.backups)),
+		Coords:        make(map[int]coords.Point),
 	}
 	for k, pair := range t.borders {
 		v.Borders[k] = pair
+	}
+	for k, pairs := range t.backups {
+		v.BackupBorders[k] = append([]BorderPair(nil), pairs...)
 	}
 	for _, m := range v.Members {
 		v.Coords[m] = t.coords.Points[m].Clone()
 	}
 	for _, b := range t.borderNodes {
+		v.Coords[b] = t.coords.Points[b].Clone()
+	}
+	for _, b := range t.backupNodes {
 		v.Coords[b] = t.coords.Points[b].Clone()
 	}
 	return v, nil
@@ -73,11 +88,33 @@ func (v *NodeView) Dist(u, w int) (float64, error) {
 	return coords.Dist(pu, pw), nil
 }
 
-// Border returns the border pair between two distinct clusters, oriented
-// (inA, inB).
+// Border returns the preferred live border pair between two distinct
+// clusters, oriented (inA, inB). Without a failure detector (Alive == nil)
+// that is always the primary pair; with one, the first ranked pair whose
+// endpoints are both live wins, and when every ranked pair has a crashed
+// endpoint the primary is returned so callers still compute a path (sends
+// to the crashed border surface as counted drops and RPC timeouts).
 func (v *NodeView) Border(a, b int) (inA, inB int, err error) {
+	pairs, err := v.BorderRanked(a, b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v.Alive != nil {
+		for _, p := range pairs {
+			if v.Alive(p[0]) && v.Alive(p[1]) {
+				return p[0], p[1], nil
+			}
+		}
+	}
+	return pairs[0][0], pairs[0][1], nil
+}
+
+// BorderRanked returns every border pair between two distinct clusters in
+// preference order — primary first, then the node-disjoint backups — each
+// oriented {inA, inB}. Liveness is not consulted.
+func (v *NodeView) BorderRanked(a, b int) ([][2]int, error) {
 	if a == b {
-		return 0, 0, fmt.Errorf("hfc: no border pair within a single cluster %d", a)
+		return nil, fmt.Errorf("hfc: no border pair within a single cluster %d", a)
 	}
 	lo, hi := a, b
 	if lo > hi {
@@ -85,12 +122,19 @@ func (v *NodeView) Border(a, b int) (inA, inB int, err error) {
 	}
 	pair, ok := v.Borders[[2]int{lo, hi}]
 	if !ok {
-		return 0, 0, fmt.Errorf("hfc: view has no border pair for clusters (%d,%d)", a, b)
+		return nil, fmt.Errorf("hfc: view has no border pair for clusters (%d,%d)", a, b)
 	}
-	if a == lo {
-		return pair.Low, pair.High, nil
+	orient := func(p BorderPair) [2]int {
+		if a == lo {
+			return [2]int{p.Low, p.High}
+		}
+		return [2]int{p.High, p.Low}
 	}
-	return pair.High, pair.Low, nil
+	out := [][2]int{orient(pair)}
+	for _, p := range v.BackupBorders[[2]int{lo, hi}] {
+		out = append(out, orient(p))
+	}
+	return out, nil
 }
 
 // CoordinateStateSize is the number of coordinate node-states the view

@@ -1,0 +1,107 @@
+package overlay
+
+import (
+	"fmt"
+
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// Crash fail-stops a node: from now on every message addressed to it is
+// silently discarded at send time (counted in FaultStats.DroppedToCrashed),
+// and the runtime's failure detector reports it dead, so border duty
+// migrates to backup pairs and resolvers/providers stop being chosen on it.
+// The node's goroutine keeps draining its mailbox — a fail-stop process
+// disappears, it does not wedge the network — but no new traffic reaches
+// it. Crashing an already-crashed node is a no-op.
+func (s *System) Crash(id int) error {
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("overlay: node %d out of range [0,%d)", id, len(s.nodes))
+	}
+	s.crashed[id].Store(true)
+	return nil
+}
+
+// Recover rejoins a crashed node with empty tables: it knows only its own
+// capability and its own cluster's aggregate-of-one, exactly like a freshly
+// booted proxy, and re-learns everything from the next protocol rounds. The
+// SeqP/SeqC trackers survive the crash (the stand-in for the stable-storage
+// epoch a real proxy would persist), so the recovered node still rejects
+// floods older than what it accepted before crashing. Recovering a live
+// node is a no-op.
+func (s *System) Recover(id int) error {
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("overlay: node %d out of range [0,%d)", id, len(s.nodes))
+	}
+	if !s.crashed[id].Load() {
+		return nil
+	}
+	n := s.nodes[id]
+	caps := s.capsOf(id)
+	n.st.Lock()
+	n.state = state.NodeState{
+		Node: id,
+		SCTP: map[int]svc.CapabilitySet{id: caps.Clone()},
+		SCTC: map[int]svc.CapabilitySet{n.view.ClusterID: caps.Clone()},
+		SeqP: n.state.SeqP,
+		SeqC: n.state.SeqC,
+	}
+	n.st.Unlock()
+	// Flip the flag last: once senders see the node live, its tables are
+	// already in the clean rejoin state.
+	s.crashed[id].Store(false)
+	return nil
+}
+
+// IsCrashed reports whether a node is currently fail-stopped. Out-of-range
+// IDs report false.
+func (s *System) IsCrashed(id int) bool {
+	if id < 0 || id >= len(s.crashed) {
+		return false
+	}
+	return s.crashed[id].Load()
+}
+
+// CrashedNodes returns the IDs of currently crashed nodes in increasing
+// order.
+func (s *System) CrashedNodes() []int {
+	var out []int
+	for i := range s.crashed {
+		if s.crashed[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ConvergedLive is Converged modulo the currently crashed set: live nodes
+// must hold exact state for live members and bracketed aggregates (see
+// state.VerifyConvergenceExcept); crashed nodes' frozen tables are skipped.
+func (s *System) ConvergedLive() (bool, error) {
+	states, err := s.States()
+	if err != nil {
+		return false, err
+	}
+	crashed := func(n int) bool { return s.IsCrashed(n) }
+	return state.VerifyConvergenceExcept(s.topo, s.Capabilities(), states, crashed) == nil, nil
+}
+
+// noteStaleRejected, noteRPCRetry and noteResolverFailover bump the
+// corresponding FaultStats counters.
+func (s *System) noteStaleRejected() {
+	s.dropMu.Lock()
+	s.faults.StaleRejected++
+	s.dropMu.Unlock()
+}
+
+func (s *System) noteRPCRetry() {
+	s.dropMu.Lock()
+	s.faults.RPCRetries++
+	s.dropMu.Unlock()
+}
+
+func (s *System) noteResolverFailover() {
+	s.dropMu.Lock()
+	s.faults.ResolverFailovers++
+	s.dropMu.Unlock()
+}

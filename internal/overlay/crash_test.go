@@ -1,0 +1,405 @@
+package overlay
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hfc/internal/svc"
+)
+
+// fastFaultConfig keeps timeout-path tests quick.
+func fastFaultConfig() Config {
+	return Config{
+		RouteTimeout: 50 * time.Millisecond,
+		RPCTimeout:   15 * time.Millisecond,
+		RPCRetries:   1,
+		RPCBackoff:   time.Millisecond,
+	}
+}
+
+func convergeRounds(t *testing.T, sys *System, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		sys.TriggerStateRound()
+		sys.Quiesce()
+	}
+}
+
+// nonBorderNode returns a node with no border duty, primary or backup.
+func nonBorderNode(t *testing.T, sys *System) int {
+	t.Helper()
+	protected := map[int]bool{}
+	for _, b := range sys.topo.BorderNodes() {
+		protected[b] = true
+	}
+	for _, b := range sys.topo.BackupBorderNodes() {
+		protected[b] = true
+	}
+	for i := 0; i < sys.topo.N(); i++ {
+		if !protected[i] {
+			return i
+		}
+	}
+	t.Fatal("every node has border duty")
+	return -1
+}
+
+func TestCrashRecoverValidation(t *testing.T) {
+	topo, caps := buildFixture(t, 60)
+	sys := startSystem(t, topo, caps, Config{})
+	if err := sys.Crash(-1); err == nil {
+		t.Error("negative id accepted by Crash")
+	}
+	if err := sys.Recover(topo.N()); err == nil {
+		t.Error("out-of-range id accepted by Recover")
+	}
+	if err := sys.Recover(0); err != nil {
+		t.Errorf("recovering a live node: %v", err)
+	}
+	if sys.IsCrashed(-5) || sys.IsCrashed(topo.N()+5) {
+		t.Error("out-of-range id reported crashed")
+	}
+	if err := sys.Crash(3); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if err := sys.Crash(3); err != nil {
+		t.Errorf("double crash: %v", err)
+	}
+	if got := sys.CrashedNodes(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("CrashedNodes = %v, want [3]", got)
+	}
+}
+
+func TestRouteToCrashedDestTimesOut(t *testing.T) {
+	topo, caps := buildFixture(t, 61)
+	sys := startSystem(t, topo, caps, fastFaultConfig())
+	convergeRounds(t, sys, 2)
+
+	req, err := newRequest(t, caps, 61)
+	if err != nil {
+		t.Fatalf("newRequest: %v", err)
+	}
+	if err := sys.Crash(req.Dest); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	start := time.Now()
+	_, rerr := sys.Route(req)
+	if !errors.Is(rerr, ErrRPCTimeout) {
+		t.Fatalf("Route to crashed dest: err = %v, want ErrRPCTimeout", rerr)
+	}
+	// RPCRetries=1 → two attempts, each bounded by RouteTimeout.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timed-out route took %v, deadlines not enforced", elapsed)
+	}
+	fc := sys.FaultCounters()
+	if fc.DroppedToCrashed < 2 {
+		t.Errorf("DroppedToCrashed = %d, want >= 2 (both attempts)", fc.DroppedToCrashed)
+	}
+	if fc.RPCRetries < 1 {
+		t.Errorf("RPCRetries = %d, want >= 1", fc.RPCRetries)
+	}
+}
+
+func TestChildRPCFailsOverToAlternateResolver(t *testing.T) {
+	topo, caps := buildFixture(t, 62)
+	if topo.NumClusters() < 2 {
+		t.Fatal("fixture needs >= 2 clusters")
+	}
+	// Give the destination a service nobody else provides, so the CSP maps
+	// it to the destination's cluster and the source cluster contributes a
+	// pure-relay child whose resolver is its exit border.
+	ca, cb := 0, 1
+	src, dest := -1, -1
+	for i := 0; i < topo.N(); i++ {
+		if src == -1 && topo.ClusterOf(i) == ca {
+			src = i
+		}
+		if dest == -1 && topo.ClusterOf(i) == cb {
+			dest = i
+		}
+	}
+	unique := svc.Service("unique-child-failover")
+	caps[dest] = caps[dest].Clone()
+	caps[dest].Add(unique)
+
+	sys := startSystem(t, topo, caps, fastFaultConfig())
+	convergeRounds(t, sys, 2)
+
+	inCa, _, err := topo.Border(ca, cb)
+	if err != nil {
+		t.Fatalf("Border: %v", err)
+	}
+	if err := sys.Crash(inCa); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	// Simulate failure-detector lag at the destination: it still believes
+	// the crashed border is alive, so the child RPC must discover the
+	// failure the hard way — deadline misses, then alternate resolvers.
+	sys.nodes[dest].view.Alive = func(int) bool { return true }
+
+	sg, err := svc.Linear(unique)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	res, rerr := sys.Route(svc.Request{Source: src, Dest: dest, SG: sg})
+	if rerr != nil {
+		t.Fatalf("Route with crashed designated resolver: %v", rerr)
+	}
+	if res.Path == nil || len(res.Path.Hops) == 0 {
+		t.Fatal("empty path")
+	}
+	fc := sys.FaultCounters()
+	if fc.RPCRetries < 1 {
+		t.Errorf("RPCRetries = %d, want >= 1 (crashed resolver must time out)", fc.RPCRetries)
+	}
+	if fc.ResolverFailovers < 1 {
+		t.Errorf("ResolverFailovers = %d, want >= 1 (alternate resolver must answer)", fc.ResolverFailovers)
+	}
+}
+
+func TestBorderCrashReconvergesThroughBackup(t *testing.T) {
+	topo, caps := buildFixture(t, 63)
+	ca, cb := 0, 1
+	backups, err := topo.BackupBorders(ca, cb)
+	if err != nil {
+		t.Fatalf("BackupBorders: %v", err)
+	}
+	if len(backups) == 0 {
+		t.Fatal("fixture clusters too small for backup borders")
+	}
+	inCa, _, err := topo.Border(ca, cb)
+	if err != nil {
+		t.Fatalf("Border: %v", err)
+	}
+
+	sys := startSystem(t, topo, caps, Config{})
+	convergeRounds(t, sys, 2)
+	if err := sys.Crash(inCa); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+
+	// Change ground truth in the border's cluster AFTER the crash: the only
+	// way the new service can reach other clusters' SCT_C (the live-aggregate
+	// floor of ConvergedLive) is an aggregate exchange over a backup pair.
+	fresh := svc.Service("post-crash-service")
+	var carrier int = -1
+	for i := 0; i < topo.N(); i++ {
+		if topo.ClusterOf(i) == ca && i != inCa && !sys.IsCrashed(i) {
+			carrier = i
+			break
+		}
+	}
+	set := caps[carrier].Clone()
+	set.Add(fresh)
+	if err := sys.UpdateCapability(carrier, set); err != nil {
+		t.Fatalf("UpdateCapability: %v", err)
+	}
+
+	reconverged := false
+	for r := 0; r < 5; r++ {
+		sys.TriggerStateRound()
+		sys.Quiesce()
+		ok, err := sys.ConvergedLive()
+		if err != nil {
+			t.Fatalf("ConvergedLive: %v", err)
+		}
+		if ok {
+			reconverged = true
+			t.Logf("re-converged %d round(s) after border crash", r+1)
+			break
+		}
+	}
+	if !reconverged {
+		t.Fatal("no re-convergence through backup border within 5 rounds")
+	}
+	// The new service crossed clusters, so it travelled over a backup pair.
+	for i := 0; i < topo.N(); i++ {
+		if sys.IsCrashed(i) || topo.ClusterOf(i) == ca {
+			continue
+		}
+		st, err := sys.StateOf(i)
+		if err != nil {
+			t.Fatalf("StateOf: %v", err)
+		}
+		if !st.SCTC[ca].Has(fresh) {
+			t.Errorf("node %d SCT_C[%d] missing %q: backup exchange did not happen", i, ca, fresh)
+		}
+	}
+	// Live views must now resolve the pair's border to a live backup.
+	for _, n := range sys.nodes {
+		if sys.IsCrashed(n.id) {
+			continue
+		}
+		u, v, err := n.view.Border(ca, cb)
+		if err != nil {
+			continue // views not party to the pair may not know it
+		}
+		if u == inCa || v == inCa {
+			t.Errorf("node %d view still selects crashed border %d for (%d,%d)", n.id, inCa, ca, cb)
+		}
+	}
+	if fc := sys.FaultCounters(); fc.DroppedToCrashed == 0 {
+		t.Error("no messages recorded as dropped to the crashed border")
+	}
+}
+
+func TestRecoveredNodeRejoins(t *testing.T) {
+	topo, caps := buildFixture(t, 64)
+	sys := startSystem(t, topo, caps, Config{})
+	convergeRounds(t, sys, 2)
+
+	victim := nonBorderNode(t, sys)
+	if err := sys.Crash(victim); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	convergeRounds(t, sys, 1)
+	if ok, err := sys.ConvergedLive(); err != nil || !ok {
+		t.Fatalf("ConvergedLive with %d crashed = %v, %v", victim, ok, err)
+	}
+
+	// Ground truth moves while the victim is down; after recovery it must
+	// re-learn everything, including the change it never saw.
+	other := (victim + 1) % topo.N()
+	if sys.IsCrashed(other) {
+		other = (victim + 2) % topo.N()
+	}
+	set := caps[other].Clone()
+	set.Add("while-you-were-out")
+	if err := sys.UpdateCapability(other, set); err != nil {
+		t.Fatalf("UpdateCapability: %v", err)
+	}
+
+	if err := sys.Recover(victim); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(sys.CrashedNodes()) != 0 {
+		t.Fatalf("CrashedNodes = %v after recovery", sys.CrashedNodes())
+	}
+	st, err := sys.StateOf(victim)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if len(st.SCTP) != 1 {
+		t.Errorf("recovered node rejoined with %d SCT_P entries, want only itself", len(st.SCTP))
+	}
+
+	convergeRounds(t, sys, 3)
+	ok, err := sys.Converged()
+	if err != nil {
+		t.Fatalf("Converged: %v", err)
+	}
+	if !ok {
+		t.Fatal("no strict convergence after recovery")
+	}
+	st, err = sys.StateOf(victim)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if !st.SCTP[other].Has("while-you-were-out") {
+		t.Error("recovered node missed the capability change made while it was down")
+	}
+}
+
+func TestStaleRefloodRejected(t *testing.T) {
+	topo, caps := buildFixture(t, 65)
+	sys := startSystem(t, topo, caps, Config{})
+	convergeRounds(t, sys, 2) // round counter now 2
+
+	victim := 0
+	var origin int = -1
+	for i := 1; i < topo.N(); i++ {
+		if topo.ClusterOf(i) == topo.ClusterOf(victim) {
+			origin = i
+			break
+		}
+	}
+	if origin == -1 {
+		t.Fatal("victim has no cluster peer")
+	}
+	before, err := sys.StateOf(victim)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if !before.SCTP[origin].Equal(caps[origin]) {
+		t.Fatalf("victim not converged before replay")
+	}
+
+	// Replay a round-1 flood carrying bogus state — a delayed duplicate
+	// from before convergence. The sequence check must discard it.
+	sys.send(-1, victim, message{
+		kind:          kindLocal,
+		localFrom:     origin,
+		localServices: []svc.Service{"bogus-replayed"},
+		seq:           1,
+	})
+	sys.Quiesce()
+
+	after, err := sys.StateOf(victim)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if after.SCTP[origin].Has("bogus-replayed") {
+		t.Error("stale re-flood overwrote newer state")
+	}
+	if !after.SCTP[origin].Equal(caps[origin]) {
+		t.Errorf("SCTP[%d] = %v after replay, want %v", origin, after.SCTP[origin], caps[origin])
+	}
+	if fc := sys.FaultCounters(); fc.StaleRejected < 1 {
+		t.Errorf("StaleRejected = %d, want >= 1", fc.StaleRejected)
+	}
+}
+
+func TestSendAfterStopIsCountedNoOp(t *testing.T) {
+	topo, caps := buildFixture(t, 66)
+	sys, err := New(topo, caps, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	sys.TriggerStateRound() // must not panic on closed inboxes
+	fc := sys.FaultCounters()
+	if fc.DroppedAfterStop != topo.N() {
+		t.Errorf("DroppedAfterStop = %d, want %d (one per node)", fc.DroppedAfterStop, topo.N())
+	}
+}
+
+// TestStopSendRaceHammer races concurrent senders against Stop; before the
+// sendMu admission protocol, this was a send-on-closed-channel panic under
+// load. Run with -race.
+func TestStopSendRaceHammer(t *testing.T) {
+	topo, caps := buildFixture(t, 67)
+	for i := 0; i < 25; i++ {
+		sys, err := New(topo, caps, Config{})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := sys.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		var stopped atomic.Bool
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stopped.Load() {
+					sys.TriggerStateRound()
+				}
+			}()
+		}
+		time.Sleep(time.Duration(i%3) * time.Millisecond)
+		if err := sys.Stop(); err != nil {
+			t.Fatalf("Stop: %v", err)
+		}
+		stopped.Store(true)
+		wg.Wait()
+	}
+}

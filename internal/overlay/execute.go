@@ -3,6 +3,7 @@ package overlay
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"hfc/internal/routing"
 	"hfc/internal/svc"
@@ -60,8 +61,18 @@ func (s *System) Execute(path *routing.Path, payload string) (*ExecutionTrace, e
 		},
 	}
 	s.send(-1, path.Hops[0].Node, m)
-	out := <-reply
-	return out.trace, out.err
+	// The data plane has no retry of its own: a stream that dies mid-path
+	// (crashed hop, dropped forward) surfaces as a deadline miss and the
+	// client re-routes — by then the control plane has steered around the
+	// failure.
+	timer := time.NewTimer(s.cfg.RouteTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-reply:
+		return out.trace, out.err
+	case <-timer.C:
+		return nil, fmt.Errorf("overlay: execute on %d-hop path: %w", len(path.Hops), ErrRPCTimeout)
+	}
 }
 
 // handleData is one proxy's data-plane step: verify + apply the hop's

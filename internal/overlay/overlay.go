@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hfc/internal/hfc"
@@ -32,24 +33,64 @@ type Config struct {
 	// and v take Dist(u,v)·DelayPerUnit of wall-clock time, simulating
 	// network latency. Zero delivers immediately (default).
 	DelayPerUnit time.Duration
-	// DropRate, in [0, 1], makes each state-protocol message (local-state
-	// flood, aggregate exchange, aggregate forward) be lost with this
-	// probability — fault injection for convergence testing. Request and
-	// reply traffic is never dropped (a deployment would retry it; the
+	// DropRate, in [0, 1], makes EVERY node-to-node message — state
+	// protocol, route and child RPCs, data-plane forwards — be lost with
+	// this probability. The RPC paths survive it by deadline + retry; the
 	// periodic protocol needs no retry because the next round resends
-	// everything). Default 0.
+	// everything. Default 0.
 	DropRate float64
+	// ProtocolDropRate, in [0, 1], additionally drops only state-protocol
+	// messages (local-state floods, aggregate exchange and forwards) —
+	// the knob the convergence experiments use to stress §4 without
+	// touching request traffic. Protocol messages are dropped at
+	// max(DropRate, ProtocolDropRate). Default 0.
+	ProtocolDropRate float64
 	// DropSeed seeds the drop decisions so failure tests are
 	// reproducible.
 	DropSeed int64
+	// RouteTimeout bounds each attempt of a Route (and Execute) call; on
+	// expiry the request is retried up to RPCRetries more times with
+	// exponential backoff, then fails with ErrRPCTimeout. Default 2s.
+	RouteTimeout time.Duration
+	// RPCTimeout bounds each attempt of an internal child-request RPC.
+	// After RPCRetries extra attempts against the designated resolver the
+	// caller fails over to the next candidate resolver of the target
+	// cluster. Default 250ms.
+	RPCTimeout time.Duration
+	// RPCRetries is how many extra attempts follow a timed-out first
+	// attempt (per resolver candidate for child RPCs). Default 2; set -1
+	// for zero retries.
+	RPCRetries int
+	// RPCBackoff is the pause before the first retry, doubling on each
+	// further one. Default 5ms.
+	RPCBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.MailboxSize == 0 {
 		c.MailboxSize = 256
 	}
+	if c.RouteTimeout == 0 {
+		c.RouteTimeout = 2 * time.Second
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 250 * time.Millisecond
+	}
+	if c.RPCRetries == 0 {
+		c.RPCRetries = 2
+	} else if c.RPCRetries < 0 {
+		c.RPCRetries = 0
+	}
+	if c.RPCBackoff == 0 {
+		c.RPCBackoff = 5 * time.Millisecond
+	}
 	return c
 }
+
+// ErrRPCTimeout is returned (wrapped) when every attempt of a Route,
+// Execute, or child RPC misses its deadline — the destination is crashed,
+// unreachable, or every resolver candidate is down.
+var ErrRPCTimeout = errors.New("rpc deadline exceeded")
 
 // System is a running overlay of concurrent proxy nodes.
 type System struct {
@@ -70,14 +111,57 @@ type System struct {
 	stopped bool
 	wg      sync.WaitGroup
 
+	// sendMu serializes send admission against Stop: senders hold the
+	// read side across the accepting check and the inflight.Add, Stop
+	// takes the write side to flip accepting off, so a send can never
+	// slip past Stop's inflight.Wait and hit a closed inbox.
+	sendMu    sync.RWMutex
+	accepting bool
+
+	// crashed[i] marks node i fail-stopped: every message addressed to it
+	// is silently discarded (and counted) at send time.
+	crashed []atomic.Bool
+
+	// round is the §4 protocol round counter; every protocol message is
+	// stamped with it so stale (delayed or replayed) floods are rejected
+	// by the per-entry sequence check.
+	round atomic.Uint64
+
 	// drop state (fault injection), guarded by dropMu.
 	dropMu  sync.Mutex
 	dropRng *rand.Rand
-	dropped int
+	faults  FaultStats
 
 	// traffic counters (delivered messages by kind), guarded by statMu.
 	statMu sync.Mutex
 	stats  TrafficStats
+}
+
+// FaultStats counts fault-injection and recovery events in the runtime.
+type FaultStats struct {
+	// Dropped is the number of messages lost to random drop injection
+	// (DropRate / ProtocolDropRate).
+	Dropped int
+	// DroppedToCrashed counts messages discarded because the destination
+	// was crashed at send time.
+	DroppedToCrashed int
+	// DroppedAfterStop counts sends that arrived after Stop — counted
+	// no-ops, never a panic.
+	DroppedAfterStop int
+	// DroppedBackpressure counts protocol messages shed because the
+	// destination mailbox was full: the mailbox loop never blocks on a
+	// saturated peer (that cycle is a distributed deadlock), and the next
+	// periodic round resends everything anyway.
+	DroppedBackpressure int
+	// StaleRejected counts protocol messages rejected by the sequence
+	// check (a delayed or replayed flood carrying an older round).
+	StaleRejected int
+	// RPCRetries counts re-sent route/child RPC attempts after a missed
+	// deadline.
+	RPCRetries int
+	// ResolverFailovers counts child requests answered by an alternate
+	// resolver after the designated one failed to reply.
+	ResolverFailovers int
 }
 
 // TrafficStats counts messages the runtime actually delivered, by kind.
@@ -109,6 +193,10 @@ type message struct {
 
 	// broadcast trigger (control).
 	trigger bool
+
+	// seq is the protocol round the message belongs to (local/aggregate/
+	// trigger kinds); receivers reject entries older than what they hold.
+	seq uint64
 
 	// route request (full §5 routing at this node).
 	routeReq   *svc.Request
@@ -173,16 +261,25 @@ func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, err
 	if cfg.DropRate < 0 || cfg.DropRate > 1 {
 		return nil, fmt.Errorf("overlay: drop rate %v outside [0,1]", cfg.DropRate)
 	}
-	s := &System{topo: topo, caps: caps, cfg: cfg}
-	if cfg.DropRate > 0 {
+	if cfg.ProtocolDropRate < 0 || cfg.ProtocolDropRate > 1 {
+		return nil, fmt.Errorf("overlay: protocol drop rate %v outside [0,1]", cfg.ProtocolDropRate)
+	}
+	s := &System{topo: topo, caps: caps, cfg: cfg, accepting: true}
+	if cfg.DropRate > 0 || cfg.ProtocolDropRate > 0 {
 		s.dropRng = rand.New(rand.NewSource(cfg.DropSeed))
 	}
+	s.crashed = make([]atomic.Bool, topo.N())
 	s.nodes = make([]*node, topo.N())
 	for i := range s.nodes {
 		view, err := topo.View(i)
 		if err != nil {
 			return nil, fmt.Errorf("overlay: %w", err)
 		}
+		// The runtime's crash registry doubles as every node's failure
+		// detector: border selection and intra-cluster provider choice
+		// skip nodes it reports dead. A deployment would plug a gossip or
+		// heartbeat detector in here.
+		view.Alive = func(id int) bool { return !s.IsCrashed(id) }
 		n := &node{
 			id:    i,
 			sys:   s,
@@ -221,7 +318,8 @@ func (s *System) Start() error {
 }
 
 // Stop shuts the system down and waits for every node goroutine to exit.
-// Safe to call once; subsequent calls return an error.
+// Safe to call once; subsequent calls return an error. Sends racing Stop
+// are counted no-ops (FaultStats.DroppedAfterStop), never a panic.
 func (s *System) Stop() error {
 	s.mu.Lock()
 	if !s.started || s.stopped {
@@ -230,7 +328,13 @@ func (s *System) Stop() error {
 	}
 	s.stopped = true
 	s.mu.Unlock()
-	// Wait for in-flight traffic, then close inboxes.
+	// Refuse new sends, wait for in-flight traffic, then close inboxes.
+	// The write lock cannot be acquired while a sender is between its
+	// accepting check and its inflight.Add, so every admitted message is
+	// covered by the Wait below.
+	s.sendMu.Lock()
+	s.accepting = false
+	s.sendMu.Unlock()
 	s.inflight.Wait()
 	for _, n := range s.nodes {
 		close(n.inbox)
@@ -241,43 +345,85 @@ func (s *System) Stop() error {
 
 // send delivers a message to node `to`, optionally after the simulated
 // network delay from node `from` (-1 for external injection, no delay).
-// State-protocol messages are subject to the configured drop rate.
+// Messages to crashed nodes and sends after Stop are counted no-ops; all
+// payload kinds are subject to the configured drop rates (trigger messages
+// are control-plane injections and never drop randomly).
 func (s *System) send(from, to int, m message) {
-	if s.dropRng != nil && (m.kind == kindLocal || m.kind == kindAggregate) {
+	if s.crashed[to].Load() {
 		s.dropMu.Lock()
-		drop := s.dropRng.Float64() < s.cfg.DropRate
-		if drop {
-			s.dropped++
-		}
+		s.faults.DroppedToCrashed++
 		s.dropMu.Unlock()
-		if drop {
-			return
+		return
+	}
+	if s.dropRng != nil && m.kind != kindTrigger {
+		rate := s.cfg.DropRate
+		if (m.kind == kindLocal || m.kind == kindAggregate) && s.cfg.ProtocolDropRate > rate {
+			rate = s.cfg.ProtocolDropRate
 		}
+		if rate > 0 {
+			s.dropMu.Lock()
+			drop := s.dropRng.Float64() < rate
+			if drop {
+				s.faults.Dropped++
+			}
+			s.dropMu.Unlock()
+			if drop {
+				return
+			}
+		}
+	}
+	s.sendMu.RLock()
+	if !s.accepting {
+		s.sendMu.RUnlock()
+		s.dropMu.Lock()
+		s.faults.DroppedAfterStop++
+		s.dropMu.Unlock()
+		return
 	}
 	s.inflight.Add(1)
-	s.statMu.Lock()
-	switch m.kind {
-	case kindLocal:
-		s.stats.Local++
-	case kindAggregate:
-		s.stats.Aggregate++
-	case kindRoute:
-		s.stats.Route++
-	case kindChild:
-		s.stats.Child++
-	case kindData:
-		s.stats.Data++
+	s.sendMu.RUnlock()
+	count := func() {
+		s.statMu.Lock()
+		switch m.kind {
+		case kindLocal:
+			s.stats.Local++
+		case kindAggregate:
+			s.stats.Aggregate++
+		case kindRoute:
+			s.stats.Route++
+		case kindChild:
+			s.stats.Child++
+		case kindData:
+			s.stats.Data++
+		}
+		s.statMu.Unlock()
 	}
-	s.statMu.Unlock()
 	deliver := func() {
-		// A send racing Stop would panic on the closed channel; Stop waits
-		// for inflight first, so ordering is safe as long as callers only
-		// send while the system is running.
+		// Safe against Stop: the message is registered in inflight, and
+		// Stop only closes inboxes after inflight drains.
 		s.nodes[to].inbox <- m
+		count()
 	}
 	if s.cfg.DelayPerUnit > 0 && from >= 0 && from != to {
 		d := time.Duration(s.topo.Dist(from, to)) * s.cfg.DelayPerUnit
 		time.AfterFunc(d, deliver)
+		return
+	}
+	if (m.kind == kindLocal || m.kind == kindAggregate) && from >= 0 {
+		// Protocol sends originate from a node's mailbox loop; blocking
+		// there on a saturated peer can close a cycle of full mailboxes
+		// into a distributed deadlock. The periodic protocol resends
+		// everything next round, so backpressure degrades to a counted
+		// drop instead.
+		select {
+		case s.nodes[to].inbox <- m:
+			count()
+		default:
+			s.inflight.Done()
+			s.dropMu.Lock()
+			s.faults.DroppedBackpressure++
+			s.dropMu.Unlock()
+		}
 		return
 	}
 	deliver()
@@ -285,10 +431,12 @@ func (s *System) send(from, to int, m message) {
 
 // TriggerStateRound makes every node broadcast its local state and, at
 // border proxies, aggregate and exchange cluster state — one full round of
-// the §4 protocol. Call Quiesce to wait for convergence.
+// the §4 protocol. Call Quiesce to wait for convergence. Crashed nodes
+// neither receive the trigger nor broadcast.
 func (s *System) TriggerStateRound() {
+	seq := s.round.Add(1)
 	for i := range s.nodes {
-		s.send(-1, i, message{kind: kindTrigger, trigger: true})
+		s.send(-1, i, message{kind: kindTrigger, trigger: true, seq: seq})
 	}
 }
 
@@ -296,12 +444,20 @@ func (s *System) TriggerStateRound() {
 // caused) have been processed.
 func (s *System) Quiesce() { s.inflight.Wait() }
 
-// DroppedMessages reports how many protocol messages fault injection has
-// discarded so far.
+// DroppedMessages reports how many messages random fault injection has
+// discarded so far (drops to crashed nodes are counted separately; see
+// FaultCounters).
 func (s *System) DroppedMessages() int {
 	s.dropMu.Lock()
 	defer s.dropMu.Unlock()
-	return s.dropped
+	return s.faults.Dropped
+}
+
+// FaultCounters snapshots the fault-injection and recovery counters.
+func (s *System) FaultCounters() FaultStats {
+	s.dropMu.Lock()
+	defer s.dropMu.Unlock()
+	return s.faults
 }
 
 // Traffic snapshots the delivered-message counters.
@@ -363,16 +519,35 @@ func (s *System) Converged() (bool, error) {
 }
 
 // Route injects a service request at its destination proxy and waits for
-// the composed service path, exactly as a client would.
+// the composed service path, exactly as a client would. Each attempt is
+// bounded by Config.RouteTimeout; missed deadlines (a crashed or
+// unreachable destination, a dropped request) are retried with exponential
+// backoff up to Config.RPCRetries times before failing with ErrRPCTimeout.
 func (s *System) Route(req svc.Request) (*routing.Result, error) {
 	if err := req.Validate(s.topo.N()); err != nil {
 		return nil, err
 	}
-	reply := make(chan routeReply, 1)
-	r := req
-	s.send(-1, req.Dest, message{kind: kindRoute, routeReq: &r, routeReply: reply})
-	out := <-reply
-	return out.result, out.err
+	backoff := s.cfg.RPCBackoff
+	for attempt := 0; ; attempt++ {
+		// A fresh reply channel per attempt: a late reply to an abandoned
+		// attempt parks harmlessly in its own buffer.
+		reply := make(chan routeReply, 1)
+		r := req
+		s.send(-1, req.Dest, message{kind: kindRoute, routeReq: &r, routeReply: reply})
+		timer := time.NewTimer(s.cfg.RouteTimeout)
+		select {
+		case out := <-reply:
+			timer.Stop()
+			return out.result, out.err
+		case <-timer.C:
+		}
+		if attempt == s.cfg.RPCRetries {
+			return nil, fmt.Errorf("overlay: route to %d after %d attempts: %w", req.Dest, attempt+1, ErrRPCTimeout)
+		}
+		s.noteRPCRetry()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // StateOf snapshots a node's current routing state (deep copy).
@@ -387,12 +562,20 @@ func (s *System) StateOf(id int) (state.NodeState, error) {
 		Node: id,
 		SCTP: make(map[int]svc.CapabilitySet, len(n.state.SCTP)),
 		SCTC: make(map[int]svc.CapabilitySet, len(n.state.SCTC)),
+		SeqP: make(map[int]uint64, len(n.state.SeqP)),
+		SeqC: make(map[int]uint64, len(n.state.SeqC)),
 	}
 	for k, v := range n.state.SCTP {
 		out.SCTP[k] = v.Clone()
 	}
 	for k, v := range n.state.SCTC {
 		out.SCTC[k] = v.Clone()
+	}
+	for k, v := range n.state.SeqP {
+		out.SeqP[k] = v
+	}
+	for k, v := range n.state.SeqC {
+		out.SeqC[k] = v
 	}
 	return out, nil
 }
@@ -419,19 +602,24 @@ func (n *node) run() {
 		switch m.kind {
 		case kindLocal:
 			n.st.Lock()
-			n.state.SCTP[m.localFrom] = svc.NewCapabilitySet(m.localServices...)
+			ok := n.state.ApplyLocal(m.localFrom, m.seq, svc.NewCapabilitySet(m.localServices...))
 			n.st.Unlock()
+			if !ok {
+				n.sys.noteStaleRejected()
+			}
 			n.sys.inflight.Done()
 		case kindAggregate:
 			n.st.Lock()
-			n.state.SCTC[m.aggCluster] = svc.NewCapabilitySet(m.aggServices...)
+			ok := n.state.ApplyAggregate(m.aggCluster, m.seq, svc.NewCapabilitySet(m.aggServices...))
 			n.st.Unlock()
-			if m.aggForward {
-				n.forwardAggregate(m.aggCluster, m.aggServices)
+			if !ok {
+				n.sys.noteStaleRejected()
+			} else if m.aggForward {
+				n.forwardAggregate(m.aggCluster, m.aggServices, m.seq)
 			}
 			n.sys.inflight.Done()
 		case kindTrigger:
-			n.broadcast()
+			n.broadcast(m.seq)
 			n.sys.inflight.Done()
 		case kindRoute:
 			go n.handleRoute(m)
@@ -446,10 +634,12 @@ func (n *node) run() {
 	}
 }
 
-// broadcast floods this node's local state to its cluster and, if it is a
-// border proxy, aggregates its cluster's (currently known) capability and
-// sends it across each external link it terminates.
-func (n *node) broadcast() {
+// broadcast floods this node's local state to its cluster and, if it is
+// the preferred live border toward some cluster, aggregates its cluster's
+// (currently known) capability and sends it across the external link. With
+// the failure detector wired into the view, border duty migrates to the
+// first live backup pair when a primary border endpoint is crashed.
+func (n *node) broadcast(seq uint64) {
 	services := n.sys.capsOf(n.id).Sorted()
 	for _, member := range n.view.Members {
 		if member == n.id {
@@ -459,9 +649,11 @@ func (n *node) broadcast() {
 			kind:          kindLocal,
 			localFrom:     n.id,
 			localServices: services,
+			seq:           seq,
 		})
 	}
-	// Border duty: for each cluster pair this node terminates, send the
+	// Border duty: for each cluster pair this node currently terminates
+	// (primary, or backup promoted by the failure detector), send the
 	// aggregate of its own cluster.
 	n.st.RLock()
 	sets := make([]svc.CapabilitySet, 0, len(n.state.SCTP))
@@ -484,17 +676,18 @@ func (n *node) broadcast() {
 			aggCluster:  own,
 			aggServices: agg,
 			aggForward:  true,
+			seq:         seq,
 		})
 	}
 	// Record our own cluster's aggregate locally.
 	n.st.Lock()
-	n.state.SCTC[own] = svc.NewCapabilitySet(agg...)
+	n.state.ApplyAggregate(own, seq, svc.NewCapabilitySet(agg...))
 	n.st.Unlock()
 }
 
 // forwardAggregate re-floods a received aggregate to the rest of this
 // node's cluster (§4 step 2, receiving border's duty).
-func (n *node) forwardAggregate(cluster int, services []svc.Service) {
+func (n *node) forwardAggregate(cluster int, services []svc.Service, seq uint64) {
 	for _, member := range n.view.Members {
 		if member == n.id {
 			continue
@@ -504,11 +697,20 @@ func (n *node) forwardAggregate(cluster int, services []svc.Service) {
 			aggCluster:  cluster,
 			aggServices: services,
 			aggForward:  false,
+			seq:         seq,
 		})
 	}
 }
 
 // handleRoute performs the full §5 procedure at this (destination) node.
+//
+// The cluster-level search picks clusters from SCT_C aggregates, which are
+// blind to individual crashes inside foreign clusters: a cluster whose only
+// provider of some service is down still looks viable, and its child
+// request then fails with no live provider. When that happens the route is
+// recomputed with the failed (cluster, service) combinations banned via the
+// ClusterAdmissible hook, steering the CSP to an alternate provider cluster
+// — route-level backtracking around crashed providers.
 func (n *node) handleRoute(m message) {
 	defer n.sys.inflight.Done()
 	n.st.RLock()
@@ -524,14 +726,47 @@ func (n *node) handleRoute(m message) {
 	}
 	n.st.RUnlock()
 
-	router := &routing.HierarchicalRouter{
-		View:            n.view,
-		State:           &stCopy,
-		Intra:           rpcSolver{n: n},
-		ClusterOfSource: n.sys.topo.ClusterOf,
-		Mode:            routing.RelaxBacktrack,
+	type ban struct {
+		cluster int
+		service svc.Service
 	}
-	res, err := router.Route(*m.routeReq)
+	banned := map[ban]bool{}
+	var res *routing.Result
+	var err error
+	for attempt := 0; attempt <= n.view.NumClusters; attempt++ {
+		solver := &rpcSolver{n: n}
+		router := &routing.HierarchicalRouter{
+			View:            n.view,
+			State:           &stCopy,
+			Intra:           solver,
+			ClusterOfSource: n.sys.topo.ClusterOf,
+			Mode:            routing.RelaxBacktrack,
+		}
+		if len(banned) > 0 {
+			router.ClusterAdmissible = func(s svc.Service, c int) bool {
+				return !banned[ban{cluster: c, service: s}]
+			}
+		}
+		res, err = router.Route(*m.routeReq)
+		if err == nil || solver.failedChild == nil ||
+			!(errors.Is(err, routing.ErrNoProviders) || errors.Is(err, routing.ErrInfeasible)) {
+			break
+		}
+		// The child doesn't say which of its services lacked a live
+		// provider; ban them all in that cluster — at worst the next CSP
+		// is slightly longer.
+		fc := solver.failedChild
+		grew := false
+		for _, s := range fc.Services {
+			if !banned[ban{cluster: fc.Cluster, service: s}] {
+				banned[ban{cluster: fc.Cluster, service: s}] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
 	m.routeReply <- routeReply{result: res, err: err}
 }
 
@@ -566,6 +801,11 @@ func (n *node) solveChildLocal(child routing.ChildRequest) (*routing.Path, error
 	providers := func(x svc.Service) []int {
 		var out []int
 		for _, member := range n.view.Members {
+			// Skip providers the failure detector reports dead: a path
+			// through a crashed proxy would only fail at execution time.
+			if n.view.Alive != nil && !n.view.Alive(member) {
+				continue
+			}
 			if set, ok := n.state.SCTP[member]; ok && set.Has(x) {
 				out = append(out, member)
 			}
@@ -589,23 +829,88 @@ func (n *node) solveChildLocal(child routing.ChildRequest) (*routing.Path, error
 // rpcSolver sends child requests to their resolver proxies and waits for
 // the answers — the conquer phase as actual message exchange. A child whose
 // resolver is this node is solved inline (a node does not RPC itself).
+//
+// Each RPC attempt is bounded by Config.RPCTimeout and retried (with
+// exponential backoff) up to Config.RPCRetries times; when a resolver keeps
+// missing its deadline — crashed, or its replies keep being dropped — the
+// solver re-issues the child request to the next candidate resolver of the
+// target cluster (routing.ResolverCandidates), since any member holding the
+// cluster's SCT_P can answer.
 type rpcSolver struct {
 	n *node
+	// failedChild records the child whose resolution failed semantically
+	// (no provider / infeasible), so handleRoute can ban its cluster-service
+	// combinations and recompute the CSP around the failure.
+	failedChild *routing.ChildRequest
 }
 
-var _ routing.IntraSolver = rpcSolver{}
+var _ routing.IntraSolver = (*rpcSolver)(nil)
 
 // SolveChild implements routing.IntraSolver.
-func (s rpcSolver) SolveChild(child routing.ChildRequest) (*routing.Path, error) {
+func (s *rpcSolver) SolveChild(child routing.ChildRequest) (*routing.Path, error) {
+	sys := s.n.sys
+	candidates := routing.ResolverCandidates(s.n.view, child)
+	tried := 0
+	for ci, resolver := range candidates {
+		// The failure detector prunes known-dead candidates; the designated
+		// resolver is still attempted when every candidate looks dead, so
+		// detector false positives degrade to a timeout, not a wrong answer.
+		if s.n.view.Alive != nil && !s.n.view.Alive(resolver) {
+			continue
+		}
+		tried++
+		c := child
+		c.Resolver = resolver
+		path, err := s.solveAt(c)
+		if err == nil {
+			if ci > 0 {
+				sys.noteResolverFailover()
+			}
+			return path, nil
+		}
+		if !errors.Is(err, ErrRPCTimeout) {
+			// A semantic failure (no provider, unsatisfiable graph) is the
+			// same at every resolver — converged SCT_Ps agree — so failing
+			// over would only repeat it.
+			c := child
+			s.failedChild = &c
+			return nil, err
+		}
+	}
+	if tried == 0 {
+		c := child
+		return s.solveAt(c)
+	}
+	return nil, fmt.Errorf("overlay: child request for cluster %d: all %d resolver candidates failed: %w",
+		child.Cluster, tried, ErrRPCTimeout)
+}
+
+// solveAt runs the deadline+retry loop against one specific resolver.
+func (s *rpcSolver) solveAt(child routing.ChildRequest) (*routing.Path, error) {
 	if child.Resolver == s.n.id {
 		return s.n.solveChildLocal(child)
 	}
-	reply := make(chan childReply, 1)
-	c := child
-	s.n.sys.send(s.n.id, child.Resolver, message{kind: kindChild, childReq: &c, childReply: reply})
-	out := <-reply
-	if out.err != nil {
-		return nil, fmt.Errorf("overlay: child request at %d: %w", child.Resolver, out.err)
+	sys := s.n.sys
+	backoff := sys.cfg.RPCBackoff
+	for attempt := 0; ; attempt++ {
+		reply := make(chan childReply, 1)
+		c := child
+		sys.send(s.n.id, child.Resolver, message{kind: kindChild, childReq: &c, childReply: reply})
+		timer := time.NewTimer(sys.cfg.RPCTimeout)
+		select {
+		case out := <-reply:
+			timer.Stop()
+			if out.err != nil {
+				return nil, fmt.Errorf("overlay: child request at %d: %w", child.Resolver, out.err)
+			}
+			return out.path, nil
+		case <-timer.C:
+		}
+		if attempt == sys.cfg.RPCRetries {
+			return nil, fmt.Errorf("overlay: child request at %d: %d attempts: %w", child.Resolver, attempt+1, ErrRPCTimeout)
+		}
+		sys.noteRPCRetry()
+		time.Sleep(backoff)
+		backoff *= 2
 	}
-	return out.path, nil
 }

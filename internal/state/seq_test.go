@@ -1,0 +1,110 @@
+package state
+
+import (
+	"testing"
+
+	"hfc/internal/svc"
+)
+
+func TestApplyLocalRejectsStaleFlood(t *testing.T) {
+	st := NodeState{Node: 0}
+	if !st.ApplyLocal(3, 5, svc.NewCapabilitySet("fresh")) {
+		t.Fatal("first flood rejected")
+	}
+	// A delayed flood from an earlier round must not overwrite.
+	if st.ApplyLocal(3, 4, svc.NewCapabilitySet("stale")) {
+		t.Error("stale flood (round 4 after round 5) accepted")
+	}
+	if !st.SCTP[3].Has("fresh") || st.SCTP[3].Has("stale") {
+		t.Errorf("SCTP[3] = %v after stale flood, want the round-5 entry", st.SCTP[3])
+	}
+	// Same-round re-delivery is idempotent and accepted.
+	if !st.ApplyLocal(3, 5, svc.NewCapabilitySet("fresh")) {
+		t.Error("same-round re-delivery rejected")
+	}
+	// A newer round replaces.
+	if !st.ApplyLocal(3, 6, svc.NewCapabilitySet("newer")) {
+		t.Error("newer flood rejected")
+	}
+	if !st.SCTP[3].Has("newer") {
+		t.Errorf("SCTP[3] = %v, want round-6 entry", st.SCTP[3])
+	}
+}
+
+func TestApplyAggregateRejectsStale(t *testing.T) {
+	st := NodeState{Node: 0}
+	if !st.ApplyAggregate(1, 2, svc.NewCapabilitySet("a")) {
+		t.Fatal("first aggregate rejected")
+	}
+	if st.ApplyAggregate(1, 1, svc.NewCapabilitySet("old")) {
+		t.Error("stale aggregate accepted")
+	}
+	if !st.SCTC[1].Has("a") {
+		t.Errorf("SCTC[1] = %v, want round-2 aggregate", st.SCTC[1])
+	}
+	// Seq tracking is per origin: a different cluster's round-1 message
+	// is not stale.
+	if !st.ApplyAggregate(2, 1, svc.NewCapabilitySet("b")) {
+		t.Error("unrelated cluster's aggregate rejected")
+	}
+}
+
+func TestVerifyConvergenceExceptSkipsCrashed(t *testing.T) {
+	topo, caps := fixture(t)
+	states, _, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	// Freeze node 1 as crashed: wipe its state entirely. Strict
+	// verification must fail, the crash-aware check must pass.
+	states[1] = NodeState{Node: 1, SCTP: map[int]svc.CapabilitySet{}, SCTC: map[int]svc.CapabilitySet{}}
+	if err := VerifyConvergence(topo, caps, states); err == nil {
+		t.Fatal("strict check passed with a wiped node")
+	}
+	crashed := func(n int) bool { return n == 1 }
+	if err := VerifyConvergenceExcept(topo, caps, states, crashed); err != nil {
+		t.Fatalf("crash-aware check failed: %v", err)
+	}
+
+	// A live node missing the crashed member's SCT_P entry is still fine
+	// (a recovered node re-learns only from live floods)...
+	delete(states[0].SCTP, 1)
+	if err := VerifyConvergenceExcept(topo, caps, states, crashed); err != nil {
+		t.Fatalf("crash-aware check failed with missing crashed-member entry: %v", err)
+	}
+	// ...but a live member's entry is mandatory and must be exact.
+	states[0].SCTP[2] = svc.NewCapabilitySet("wrong")
+	if err := VerifyConvergenceExcept(topo, caps, states, crashed); err == nil {
+		t.Fatal("wrong live-member entry accepted")
+	}
+}
+
+func TestVerifyConvergenceExceptBracketsAggregates(t *testing.T) {
+	topo, caps := fixture(t)
+	states, _, err := Distribute(topo, caps)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	crashed := func(n int) bool { return n == 1 } // cluster 0 member
+	// Node 3 (cluster 1) holding only cluster 0's live aggregate — as if
+	// it re-learned through a border that recovered after the crash — is
+	// acceptable.
+	live := svc.Union(caps[0], caps[2])
+	states[3].SCTC[0] = live.Clone()
+	if err := VerifyConvergenceExcept(topo, caps, states, crashed); err != nil {
+		t.Fatalf("live-only aggregate rejected: %v", err)
+	}
+	// Less than the live aggregate is a real violation.
+	states[3].SCTC[0] = svc.NewCapabilitySet()
+	if err := VerifyConvergenceExcept(topo, caps, states, crashed); err == nil {
+		t.Fatal("sub-live aggregate accepted")
+	}
+	// More than the full aggregate (a resurrected service) is too.
+	full := svc.Union(caps[0], caps[1], caps[2])
+	extra := full.Clone()
+	extra.Add("ghost")
+	states[3].SCTC[0] = extra
+	if err := VerifyConvergenceExcept(topo, caps, states, crashed); err == nil {
+		t.Fatal("super-full aggregate accepted")
+	}
+}

@@ -31,6 +31,54 @@ type NodeState struct {
 	// SCTC maps every cluster ID in the system to the cluster's aggregate
 	// service set.
 	SCTC map[int]svc.CapabilitySet
+	// SeqP and SeqC track the highest protocol round accepted per origin
+	// proxy (local-state floods) and per origin cluster (aggregate
+	// messages). A message stamped with an older round than the recorded
+	// one is stale — a delayed or replayed flood — and must not overwrite
+	// newer state; ApplyLocal/ApplyAggregate enforce this. Nil maps mean
+	// no staleness tracking (the synchronous model, where ordering is
+	// implicit).
+	SeqP map[int]uint64
+	SeqC map[int]uint64
+}
+
+// ApplyLocal installs a local-state flood from origin stamped with protocol
+// round seq, unless a newer flood from the same origin was already
+// accepted. It reports whether the entry was applied; false means the
+// message was stale and rejected (the resurrection guard a recovered
+// node's re-flooded or delayed traffic must not bypass).
+func (s *NodeState) ApplyLocal(origin int, seq uint64, set svc.CapabilitySet) bool {
+	if s.SeqP == nil {
+		s.SeqP = make(map[int]uint64)
+	}
+	if last, ok := s.SeqP[origin]; ok && seq < last {
+		return false
+	}
+	s.SeqP[origin] = seq
+	if s.SCTP == nil {
+		s.SCTP = make(map[int]svc.CapabilitySet)
+	}
+	s.SCTP[origin] = set
+	return true
+}
+
+// ApplyAggregate installs an aggregate-state entry for an origin cluster
+// stamped with protocol round seq, with the same staleness rule as
+// ApplyLocal. Equal-round re-deliveries are accepted (several borders of
+// one cluster legitimately forward the same round's aggregate).
+func (s *NodeState) ApplyAggregate(cluster int, seq uint64, set svc.CapabilitySet) bool {
+	if s.SeqC == nil {
+		s.SeqC = make(map[int]uint64)
+	}
+	if last, ok := s.SeqC[cluster]; ok && seq < last {
+		return false
+	}
+	s.SeqC[cluster] = seq
+	if s.SCTC == nil {
+		s.SCTC = make(map[int]svc.CapabilitySet)
+	}
+	s.SCTC[cluster] = set
+	return true
 }
 
 // ServiceStateSize is the number of service-capability node-states the
@@ -177,26 +225,56 @@ func FlatStateSize(n int) int { return n }
 // members, and every node's SCT_C holds the true aggregate of every
 // cluster. It returns the first violation found.
 func VerifyConvergence(t *hfc.Topology, caps []svc.CapabilitySet, states []NodeState) error {
+	return VerifyConvergenceExcept(t, caps, states, nil)
+}
+
+// VerifyConvergenceExcept checks convergence modulo a crashed set (crashed
+// may be nil for the strict fault-free check). Crashed nodes' own states
+// are skipped entirely — fail-stop nodes neither receive nor process, so
+// their tables are legitimately frozen. For live nodes the conditions
+// relax exactly as far as fail-stop semantics force them to:
+//
+//   - SCT_P must hold the true capability of every LIVE member of the
+//     node's cluster. Entries for crashed members may be absent (a
+//     recovered node re-learns only from live floods) or stale (a
+//     never-crashed node keeps the last pre-crash truth); either way they
+//     are not checked.
+//   - SCT_C must hold, for every cluster, at least the union of that
+//     cluster's live members' capabilities and at most the union of all
+//     its members' — the bracket between what a freshly recovered border
+//     can aggregate and what an untouched node still remembers.
+func VerifyConvergenceExcept(t *hfc.Topology, caps []svc.CapabilitySet, states []NodeState, crashed func(node int) bool) error {
 	if len(states) != t.N() {
 		return fmt.Errorf("state: %d states for %d nodes", len(states), t.N())
 	}
+	down := func(node int) bool { return crashed != nil && crashed(node) }
 	k := t.NumClusters()
-	aggregates := make([]svc.CapabilitySet, k)
+	liveAgg := make([]svc.CapabilitySet, k)
+	fullAgg := make([]svc.CapabilitySet, k)
 	for c := 0; c < k; c++ {
-		sets := make([]svc.CapabilitySet, 0, len(t.Members(c)))
+		var live, full []svc.CapabilitySet
 		for _, p := range t.Members(c) {
-			sets = append(sets, caps[p])
+			full = append(full, caps[p])
+			if !down(p) {
+				live = append(live, caps[p])
+			}
 		}
-		aggregates[c] = svc.Union(sets...)
+		liveAgg[c] = svc.Union(live...)
+		fullAgg[c] = svc.Union(full...)
 	}
 	for i := range states {
+		if down(i) {
+			continue
+		}
 		st := &states[i]
 		own := t.ClusterOf(i)
 		members := t.Members(own)
-		if len(st.SCTP) != len(members) {
-			return fmt.Errorf("state: node %d SCT_P has %d entries, want %d", i, len(st.SCTP), len(members))
-		}
+		liveMembers := 0
 		for _, m := range members {
+			if down(m) {
+				continue
+			}
+			liveMembers++
 			set, ok := st.SCTP[m]
 			if !ok {
 				return fmt.Errorf("state: node %d SCT_P missing cluster member %d", i, m)
@@ -204,6 +282,9 @@ func VerifyConvergence(t *hfc.Topology, caps []svc.CapabilitySet, states []NodeS
 			if !set.Equal(caps[m]) {
 				return fmt.Errorf("state: node %d SCT_P entry for %d is %v, want %v", i, m, set, caps[m])
 			}
+		}
+		if len(st.SCTP) < liveMembers || len(st.SCTP) > len(members) {
+			return fmt.Errorf("state: node %d SCT_P has %d entries, want %d..%d", i, len(st.SCTP), liveMembers, len(members))
 		}
 		if len(st.SCTC) != k {
 			return fmt.Errorf("state: node %d SCT_C has %d entries, want %d", i, len(st.SCTC), k)
@@ -213,10 +294,27 @@ func VerifyConvergence(t *hfc.Topology, caps []svc.CapabilitySet, states []NodeS
 			if !ok {
 				return fmt.Errorf("state: node %d SCT_C missing cluster %d", i, c)
 			}
-			if !set.Equal(aggregates[c]) {
-				return fmt.Errorf("state: node %d SCT_C entry for cluster %d is %v, want %v", i, c, set, aggregates[c])
+			if crashed == nil {
+				if !set.Equal(fullAgg[c]) {
+					return fmt.Errorf("state: node %d SCT_C entry for cluster %d is %v, want %v", i, c, set, fullAgg[c])
+				}
+				continue
+			}
+			if !containsAll(set, liveAgg[c]) || !containsAll(fullAgg[c], set) {
+				return fmt.Errorf("state: node %d SCT_C entry for cluster %d is %v, want between live aggregate %v and full aggregate %v",
+					i, c, set, liveAgg[c], fullAgg[c])
 			}
 		}
 	}
 	return nil
+}
+
+// containsAll reports whether super holds every service of sub.
+func containsAll(super, sub svc.CapabilitySet) bool {
+	for _, x := range sub.Sorted() {
+		if !super.Has(x) {
+			return false
+		}
+	}
+	return true
 }
