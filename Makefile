@@ -1,0 +1,30 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test race lint bench fmt
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs go vet plus hfcvet, the project's own analyzer suite
+# (lockscope, guardedby, detrand, floatdist, errsweep + selected std
+# passes). See DESIGN.md "Concurrency & determinism invariants".
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/hfcvet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+fmt:
+	gofmt -l -w $$(git ls-files '*.go' | grep -v '^vendor/')

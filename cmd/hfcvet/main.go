@@ -1,0 +1,129 @@
+// Command hfcvet machine-checks the repo's concurrency and determinism
+// invariants: the four custom analyzers (lockscope, guardedby, detrand,
+// floatdist) plus the errsweep error-return sweep, alongside a selection
+// of the standard go vet passes.
+//
+// Usage:
+//
+//	go run ./cmd/hfcvet ./...
+//
+// Internally the binary speaks the unitchecker protocol, so the command
+// above re-executes itself as `go vet -vettool=<self> <patterns>`: the
+// go tool handles package loading, caching and dependency facts, which
+// keeps hfcvet runs incremental and proxy-free (the analysis framework
+// is vendored from the Go toolchain's own copy of x/tools).
+//
+// Suppressions: a diagnostic from analyzer NAME is silenced by a comment
+// `//hfcvet:ignore NAME <justification>` on the same line or the line
+// above. See DESIGN.md "Concurrency & determinism invariants".
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/assign"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/bools"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/defers"
+	"golang.org/x/tools/go/analysis/passes/errorsas"
+	"golang.org/x/tools/go/analysis/passes/httpresponse"
+	"golang.org/x/tools/go/analysis/passes/ifaceassert"
+	"golang.org/x/tools/go/analysis/passes/loopclosure"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/printf"
+	"golang.org/x/tools/go/analysis/passes/sigchanyzer"
+	"golang.org/x/tools/go/analysis/passes/stdmethods"
+	"golang.org/x/tools/go/analysis/passes/stringintconv"
+	"golang.org/x/tools/go/analysis/passes/structtag"
+	"golang.org/x/tools/go/analysis/passes/testinggoroutine"
+	"golang.org/x/tools/go/analysis/passes/tests"
+	"golang.org/x/tools/go/analysis/passes/unmarshal"
+	"golang.org/x/tools/go/analysis/passes/unreachable"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"hfc/internal/analysis/detrand"
+	"hfc/internal/analysis/errsweep"
+	"hfc/internal/analysis/floatdist"
+	"hfc/internal/analysis/guardedby"
+	"hfc/internal/analysis/lockscope"
+)
+
+// analyzers is the full hfcvet suite: custom invariants first, then the
+// go vet standard passes that apply to a pure-Go repo.
+var analyzers = []*analysis.Analyzer{
+	lockscope.Analyzer,
+	guardedby.Analyzer,
+	detrand.Analyzer,
+	floatdist.Analyzer,
+	errsweep.Analyzer,
+
+	assign.Analyzer,
+	atomic.Analyzer,
+	bools.Analyzer,
+	copylock.Analyzer,
+	defers.Analyzer,
+	errorsas.Analyzer,
+	httpresponse.Analyzer,
+	ifaceassert.Analyzer,
+	loopclosure.Analyzer,
+	lostcancel.Analyzer,
+	nilfunc.Analyzer,
+	printf.Analyzer,
+	sigchanyzer.Analyzer,
+	stdmethods.Analyzer,
+	stringintconv.Analyzer,
+	structtag.Analyzer,
+	testinggoroutine.Analyzer,
+	tests.Analyzer,
+	unmarshal.Analyzer,
+	unreachable.Analyzer,
+	unusedresult.Analyzer,
+}
+
+func main() {
+	if vetProtocol(os.Args[1:]) {
+		unitchecker.Main(analyzers...) // does not return
+	}
+
+	// Driver mode: hand package loading to the go tool, pointing it back
+	// at this binary as the vet tool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfcvet:", err)
+		os.Exit(1)
+	}
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		var exit *exec.ExitError
+		if errors.As(err, &exit) {
+			os.Exit(exit.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "hfcvet:", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether the arguments follow the unitchecker
+// protocol (go vet invoking us), as opposed to user package patterns.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V=") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+// Package detrand defines an Analyzer that keeps the deterministic core
+// packages deterministic: experiment tables (Fig. 8/9, the fault sweeps)
+// are only reproducible if every package between the seed and the result
+// draws randomness from an injected, seeded *rand.Rand and takes time
+// from an injected clock.
+//
+// Inside the configured packages (by default the simulation core:
+// state, routing, hfc, graph, coords, svc, topology) the analyzer
+// reports:
+//
+//   - calls to math/rand (and math/rand/v2) package-level functions that
+//     use the global source — rand.Intn, rand.Shuffle, rand.Float64, ...
+//     Constructors (rand.New, rand.NewSource, rand.NewZipf, ...) are the
+//     sanctioned way to build an injectable source and stay allowed;
+//   - bare time.Now() calls.
+//
+// Suppress an intentional site with
+//
+//	//hfcvet:ignore detrand <why determinism is preserved>
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/ignore"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand functions and time.Now in the deterministic core packages",
+	Run:  run,
+}
+
+// DefaultPackages is the comma-separated list of package names the check
+// applies to when the -packages flag is not set.
+const DefaultPackages = "state,routing,hfc,graph,coords,svc,topology"
+
+var packagesFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages", DefaultPackages,
+		"comma-separated package names that must stay deterministic")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !deterministic(pass.Pkg.Name()) {
+		return nil, nil
+	}
+	dirs := ignore.Parse(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkg.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if strings.HasPrefix(sel.Sel.Name, "New") {
+					return true // constructors build injectable sources
+				}
+				dirs.Report(pass, call.Pos(),
+					"%s.%s draws from the global math/rand source; inject a seeded *rand.Rand instead",
+					pkg.Name(), sel.Sel.Name)
+			case "time":
+				if sel.Sel.Name == "Now" {
+					dirs.Report(pass, call.Pos(),
+						"time.Now in a deterministic package; inject a clock so experiment seeds stay meaningful")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// deterministic reports whether a package name is in the configured set.
+func deterministic(name string) bool {
+	// Test variants ("state" test binary package "state_test") count too.
+	name = strings.TrimSuffix(name, "_test")
+	for _, p := range strings.Split(packagesFlag, ",") {
+		if strings.TrimSpace(p) == name {
+			return true
+		}
+	}
+	return false
+}

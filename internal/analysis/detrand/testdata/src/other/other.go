@@ -1,0 +1,16 @@
+// Package other is the detrand negative fixture: it is not one of the
+// deterministic core packages, so global randomness stays allowed here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,39 @@
+// Package state is a detrand positive fixture: its name is in the
+// deterministic core set, so global randomness and wall-clock reads are
+// reported.
+package state
+
+import (
+	"math/rand"
+	"time"
+)
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global math/rand source`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global math/rand source`
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
+}
+
+// seeded is the sanctioned pattern: constructors are allowed, and
+// methods on an injected *rand.Rand are always fine.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// elapsed uses an injected clock, not the wall clock.
+func elapsed(clock func() time.Time) time.Duration {
+	return clock().Sub(time.Unix(0, 0))
+}
+
+// suppressed documents a justified exception.
+func suppressed() int {
+	//hfcvet:ignore detrand jitter only affects log readability, not results
+	return rand.Intn(10)
+}

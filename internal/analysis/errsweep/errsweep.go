@@ -1,0 +1,174 @@
+// Package errsweep defines an Analyzer that flags discarded error
+// returns from I/O and configuration calls — the class of bug that makes
+// a CLI tool silently truncate its output file or run with half-parsed
+// flags.
+//
+// A call whose results are entirely discarded (an expression statement)
+// is reported when its last result is an error and the callee belongs to
+// one of the must-check standard packages (os, io, bufio, flag,
+// encoding/json, encoding/csv, encoding/gob, compress/gzip, compress/flate),
+// or is fmt.Fprint/Fprintf/Fprintln writing somewhere other than
+// os.Stdout / os.Stderr (diagnostics to the standard streams may be
+// fire-and-forget; writes into files and buffers may not).
+//
+// Deferred calls are exempt (`defer f.Close()` cannot propagate its
+// error); sites that discard deliberately use
+//
+//	//hfcvet:ignore errsweep <why the error does not matter>
+package errsweep
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/ignore"
+)
+
+// Analyzer is the errsweep pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsweep",
+	Doc:  "flag discarded error returns from I/O and configuration calls",
+	Run:  run,
+}
+
+// mustCheck lists packages whose error returns must not be discarded.
+var mustCheck = map[string]bool{
+	"os":             true,
+	"io":             true,
+	"bufio":          true,
+	"flag":           true,
+	"encoding/json":  true,
+	"encoding/csv":   true,
+	"encoding/gob":   true,
+	"compress/gzip":  true,
+	"compress/flate": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := ignore.Parse(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := flaggable(pass, call); ok {
+				dirs.Report(pass, call.Pos(), "error return of %s is discarded", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// flaggable decides whether a fully-discarded call must have its error
+// checked, returning a printable callee name.
+func flaggable(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	callee := typeutilCallee(pass, call)
+	if callee == nil {
+		return "", false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !isErrorType(last) {
+		return "", false
+	}
+	pkg := calleePackage(callee)
+	if pkg == nil {
+		return "", false
+	}
+	name := pkg.Name() + "." + callee.Name()
+	if pkg.Path() == "fmt" {
+		switch callee.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && (isStdStream(pass, call.Args[0]) || isInfallibleWriter(pass, call.Args[0])) {
+				return "", false
+			}
+			return name, true
+		}
+		return "", false
+	}
+	if mustCheck[pkg.Path()] {
+		return name, true
+	}
+	return "", false
+}
+
+// typeutilCallee resolves the called function or method object.
+func typeutilCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleePackage is the defining package of a function or method.
+func calleePackage(fn *types.Func) *types.Package {
+	return fn.Pkg()
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isInfallibleWriter reports whether e is an in-memory writer whose
+// Write never returns a non-nil error (strings.Builder, bytes.Buffer).
+func isInfallibleWriter(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream reports whether e is exactly os.Stdout or os.Stderr.
+func isStdStream(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}

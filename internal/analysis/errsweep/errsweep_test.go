@@ -1,0 +1,12 @@
+package errsweep_test
+
+import (
+	"testing"
+
+	"hfc/internal/analysis/analysistest"
+	"hfc/internal/analysis/errsweep"
+)
+
+func TestErrsweep(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errsweep.Analyzer, "a")
+}

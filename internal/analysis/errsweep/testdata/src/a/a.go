@@ -1,0 +1,61 @@
+// Positive and negative cases for the errsweep analyzer.
+package a
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func writeReport(f *os.File, data []byte) {
+	os.WriteFile("report.txt", data, 0o644) // want `error return of os\.WriteFile is discarded`
+	f.Close()                               // want `error return of os\.Close is discarded`
+	fmt.Fprintf(f, "done\n")                // want `error return of fmt\.Fprintf is discarded`
+}
+
+func parseArgs(fs *flag.FlagSet, args []string) {
+	fs.Parse(args) // want `error return of flag\.Parse is discarded`
+}
+
+// checked is the clean version of all of the above.
+func checked(f *os.File, data []byte) error {
+	if err := os.WriteFile("report.txt", data, 0o644); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "done\n"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// stderr diagnostics are fire-and-forget by design, and in-memory
+// writers cannot fail.
+func diagnostics() {
+	fmt.Fprintln(os.Stderr, "warning: something odd")
+	fmt.Fprintf(os.Stdout, "progress\n")
+	fmt.Println("plain printing is fine too")
+	var b strings.Builder
+	fmt.Fprintf(&b, "formatting into a builder never errors\n")
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "nor into a buffer")
+}
+
+// deferredClose cannot propagate its error; the defer idiom is exempt.
+func deferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [16]byte
+	_, rerr := f.Read(buf[:])
+	return rerr
+}
+
+// suppressed documents a justified discard.
+func bestEffortCleanup(path string) {
+	//hfcvet:ignore errsweep best-effort temp file removal on the exit path
+	os.Remove(path)
+}

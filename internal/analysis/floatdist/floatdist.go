@@ -1,0 +1,67 @@
+// Package floatdist defines an Analyzer that flags == and != between two
+// non-constant floating-point expressions.
+//
+// Distances, coordinates and path costs in this codebase are float64
+// values produced by different arithmetic routes (embedded coordinates,
+// Dijkstra sums, cached aggregates), so exact equality between two
+// computed values is almost always a latent bug; such comparisons must
+// go through an epsilon helper (floats.AlmostEqual).
+//
+// Comparing a computed float against a constant (x == 0, d != math.MaxFloat64)
+// stays allowed: sentinel checks against exact values are well-defined.
+// Intentional exact comparisons — deterministic tie-breaking in sort
+// comparators, for example — carry a suppression:
+//
+//	//hfcvet:ignore floatdist <why exact equality is intended>
+package floatdist
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/ignore"
+)
+
+// Analyzer is the floatdist pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatdist",
+	Doc:  "flag ==/!= between two computed floating-point values; use an epsilon helper",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := ignore.Parse(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !computedFloat(pass, cmp.X) || !computedFloat(pass, cmp.Y) {
+				return true
+			}
+			dirs.Report(pass, cmp.OpPos,
+				"%s between two computed floating-point values; use floats.AlmostEqual (or suppress for intentional exact ties)",
+				cmp.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// computedFloat reports whether e is a float-typed expression that is
+// not a compile-time constant.
+func computedFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false // constant (or untyped literal): sentinel comparisons allowed
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

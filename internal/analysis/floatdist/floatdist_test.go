@@ -1,0 +1,12 @@
+package floatdist_test
+
+import (
+	"testing"
+
+	"hfc/internal/analysis/analysistest"
+	"hfc/internal/analysis/floatdist"
+)
+
+func TestFloatdist(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatdist.Analyzer, "a", "clean")
+}

@@ -1,0 +1,41 @@
+// Positive and negative cases for the floatdist analyzer.
+package a
+
+type edge struct{ weight float64 }
+
+func equalDist(a, b float64) bool {
+	return a == b // want `== between two computed floating-point values`
+}
+
+func tieBreak(es []edge, i, j int) bool {
+	if es[i].weight != es[j].weight { // want `!= between two computed floating-point values`
+		return es[i].weight < es[j].weight
+	}
+	return i < j
+}
+
+// sentinel comparisons against constants stay allowed.
+func isZero(d float64) bool {
+	return d == 0
+}
+
+func notMax(d float64) bool {
+	const max = 1e308
+	return d != max
+}
+
+// integers are not the analyzer's business.
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+// orderings are fine; only exact equality is fragile.
+func closer(a, b float64) bool {
+	return a < b
+}
+
+// suppressed documents an intentional exact tie-break.
+func exactTie(a, b float64) bool {
+	//hfcvet:ignore floatdist deterministic tie-break on identical cached values
+	return a == b
+}

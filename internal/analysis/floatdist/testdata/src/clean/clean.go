@@ -1,0 +1,19 @@
+// Package clean is the floatdist negative fixture: epsilon-helper usage
+// and ordering comparisons produce no diagnostics.
+package clean
+
+import "math"
+
+const eps = 1e-9
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func shorterPath(cost, best float64) bool {
+	return cost < best
+}
+
+func sameLength(a, b float64) bool {
+	return almostEqual(a, b)
+}

@@ -1,0 +1,80 @@
+// Positive and negative cases for the guardedby analyzer.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+
+	rw sync.RWMutex
+	// table of live entries; guarded by rw
+	table map[string]int
+
+	free int // unguarded: no annotation
+}
+
+// badRead accesses n without the lock.
+func (c *counter) badRead() int {
+	return c.n // want `access to c\.n without holding c\.mu`
+}
+
+// badWrite writes table without any lock.
+func (c *counter) badWrite(k string) {
+	c.table[k] = 1 // want `access to c\.table without holding c\.rw`
+}
+
+// writeUnderReadLock holds the wrong mode.
+func (c *counter) writeUnderReadLock(k string) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.table[k] = 1 // want `write to c\.table under read lock c\.rw`
+}
+
+// goodLocked does everything right.
+func (c *counter) goodLocked(k string) int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.table[k] + c.free
+}
+
+// goodWriteLock writes under the exclusive lock.
+func (c *counter) goodWriteLock(k string) {
+	c.rw.Lock()
+	c.table[k] = 2
+	c.rw.Unlock()
+}
+
+// bumpLocked follows the *Locked naming convention: callers hold mu.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// newCounter constructs via a composite literal: not shared yet, exempt.
+func newCounter() *counter {
+	return &counter{n: 1, table: map[string]int{}}
+}
+
+// lateInit initializes a guarded field outside the literal without the
+// lock: still a violation (move it into the literal or take the lock).
+func newCounterLateInit() *counter {
+	c := &counter{}
+	c.table = map[string]int{} // want `access to c\.table without holding c\.rw`
+	return c
+}
+
+// suppressed documents a justified exception.
+func (c *counter) suppressed() int {
+	//hfcvet:ignore guardedby value is immutable after construction in this test
+	return c.n
+}
+
+// wrongMutexName: the annotation must name a real mutex field.
+type broken struct {
+	// guarded by missing
+	x int // want `struct has no sync\.Mutex/RWMutex field named missing`
+}

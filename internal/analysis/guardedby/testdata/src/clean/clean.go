@@ -1,0 +1,55 @@
+// Package clean is the guardedby negative fixture: consistently locked
+// accesses, including through a closure built under the lock, produce no
+// diagnostics.
+package clean
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	// guarded by mu
+	items map[int]string
+}
+
+func (s *store) get(k int) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[k]
+}
+
+func (s *store) put(k int, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.items == nil {
+		s.items = map[int]string{}
+	}
+	s.items[k] = v
+}
+
+// earlyReturn releases in a terminating branch: the fall-through path
+// still holds the lock.
+func (s *store) earlyReturn(k int) string {
+	s.mu.Lock()
+	if s.items == nil {
+		s.mu.Unlock()
+		return ""
+	}
+	v := s.items[k]
+	s.mu.Unlock()
+	return v
+}
+
+// snapshot uses a closure under the read lock, like the overlay's
+// provider lookup.
+func (s *store) snapshot() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	collect := func() []string {
+		out := make([]string, 0, len(s.items))
+		for _, v := range s.items {
+			out = append(out, v)
+		}
+		return out
+	}
+	return collect()
+}

@@ -1,0 +1,77 @@
+// Package ignore implements hfcvet's suppression comments.
+//
+// A diagnostic from analyzer <name> at some line is suppressed when that
+// line, or the line immediately above it, carries a comment of the form
+//
+//	//hfcvet:ignore <name> <justification>
+//
+// The justification is mandatory: a bare `//hfcvet:ignore lockscope` is
+// itself reported, so every suppression in the tree documents why the
+// invariant does not apply at that site.
+package ignore
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const prefix = "hfcvet:ignore"
+
+// Directives is the parsed suppression table for one pass: analyzer name
+// by file and line.
+type Directives struct {
+	fset  *token.FileSet
+	lines map[string]map[int]string
+}
+
+// Parse scans the files of pass for //hfcvet:ignore comments and returns
+// a lookup structure. Malformed directives (no analyzer name, or no
+// justification) are reported immediately on pass.
+func Parse(pass *analysis.Pass) *Directives {
+	d := &Directives{fset: pass.Fset, lines: map[string]map[int]string{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					pass.Reportf(c.Pos(), "malformed suppression: want //hfcvet:ignore <analyzer> <justification>")
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if d.lines[p.Filename] == nil {
+					d.lines[p.Filename] = map[int]string{}
+				}
+				d.lines[p.Filename][p.Line] = name
+			}
+		}
+	}
+	return d
+}
+
+// Suppressed reports whether a diagnostic from analyzer name at pos is
+// covered by a directive on the same line or the line above.
+func (d *Directives) Suppressed(name string, pos token.Pos) bool {
+	p := d.fset.Position(pos)
+	for _, l := range []int{p.Line, p.Line - 1} {
+		if d.lines[p.Filename][l] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Report emits a diagnostic at pos through pass unless a directive for
+// pass's analyzer covers that line.
+func (d *Directives) Report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if d.Suppressed(pass.Analyzer.Name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,172 @@
+// Package lockscope defines an Analyzer that flags blocking operations
+// executed while a sync.Mutex or sync.RWMutex is held.
+//
+// PR 1 fixed a distributed deadlock in the overlay mailbox loops caused
+// by a channel send performed under a lock; this analyzer machine-checks
+// the whole class. A "blocking operation" is:
+//
+//   - a channel send or receive outside a select with a default case
+//   - a select statement without a default case
+//   - a range over a channel
+//   - sync.WaitGroup.Wait
+//   - time.Sleep
+//
+// Suppress an intentional site with
+//
+//	//hfcvet:ignore lockscope <why this cannot deadlock>
+package lockscope
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/ignore"
+	"hfc/internal/analysis/lockwalk"
+)
+
+// Analyzer is the lockscope pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "report blocking operations (channel ops, select, WaitGroup.Wait, time.Sleep) while a mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := ignore.Parse(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, dirs, body)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc reports blocking operations under held locks in one function
+// body. Function literals inside the body are visited by the walker with
+// the appropriate held set, so they need no separate traversal here.
+func checkFunc(pass *analysis.Pass, dirs *ignore.Directives, body *ast.BlockStmt) {
+	// Channel operations that are the communication clause of a select
+	// are reported through the select itself (blocking only when the
+	// select has no default), never individually.
+	commOps := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				commOps[comm] = true
+			case *ast.ExprStmt:
+				commOps[comm.X] = true
+			case *ast.AssignStmt:
+				for _, r := range comm.Rhs {
+					commOps[r] = true
+				}
+			}
+		}
+		return true
+	})
+
+	lockwalk.Walk(pass, body, func(n ast.Node, held lockwalk.Held) {
+		if len(held) == 0 {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !commOps[n] {
+				dirs.Report(pass, n.Arrow, "channel send while %s", describe(held))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !commOps[n] {
+				dirs.Report(pass, n.OpPos, "channel receive while %s", describe(held))
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				dirs.Report(pass, n.Select, "select without default while %s", describe(held))
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					dirs.Report(pass, n.For, "range over channel while %s", describe(held))
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := blockingCall(pass, n); ok {
+				dirs.Report(pass, n.Lparen, "%s while %s", name, describe(held))
+			}
+		}
+	})
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall recognizes time.Sleep and sync.WaitGroup.Wait.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name == "Sleep" {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "time" {
+				return "time.Sleep", true
+			}
+		}
+	}
+	if sel.Sel.Name == "Wait" {
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return "", false
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+				return "sync.WaitGroup.Wait", true
+			}
+		}
+	}
+	return "", false
+}
+
+// describe renders the held set for a diagnostic, deterministically.
+func describe(held lockwalk.Held) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 1 {
+		return fmt.Sprintf("mutex %s is held", keys[0])
+	}
+	return fmt.Sprintf("mutexes %s are held", strings.Join(keys, ", "))
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"hfc/internal/analysis/analysistest"
+	"hfc/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockscope.Analyzer, "a", "mailbox")
+}

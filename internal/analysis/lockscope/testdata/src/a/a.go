@@ -1,0 +1,128 @@
+// Positive and negative cases for the lockscope analyzer.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	wg  sync.WaitGroup
+	val int
+}
+
+func (b *box) sendUnderLock() {
+	b.mu.Lock()
+	b.ch <- 1 // want `channel send while mutex b\.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) sendUnderDeferredLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1 // want `channel send while mutex b\.mu is held`
+}
+
+func (b *box) recvUnderRLock() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return <-b.ch // want `channel receive while mutex b\.rw is held`
+}
+
+func (b *box) selectNoDefaultUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select without default while mutex b\.mu is held`
+	case v := <-b.ch:
+		b.val = v
+	case b.ch <- 2:
+	}
+}
+
+func (b *box) sleepAndWaitUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while mutex b\.mu is held`
+	b.wg.Wait()                  // want `sync\.WaitGroup\.Wait while mutex b\.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) rangeOverChannelUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want `range over channel while mutex b\.mu is held`
+		b.val += v
+	}
+}
+
+func (b *box) twoLocksHeld() {
+	b.mu.Lock()
+	b.rw.Lock()
+	b.ch <- 1 // want `channel send while mutexes b\.mu, b\.rw are held`
+	b.rw.Unlock()
+	b.mu.Unlock()
+}
+
+// sendAfterUnlock is clean: the lock is released before the send.
+func (b *box) sendAfterUnlock() {
+	b.mu.Lock()
+	b.val++
+	b.mu.Unlock()
+	b.ch <- b.val
+}
+
+// selectWithDefaultUnderLock is clean: a default case makes the select
+// non-blocking (the backpressure-shedding idiom).
+func (b *box) selectWithDefaultUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- 1:
+	default:
+		b.val++
+	}
+}
+
+// goroutineStartsUnlocked is clean: the literal launched with go runs on
+// its own goroutine, which does not inherit the caller's lock.
+func (b *box) goroutineStartsUnlocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1
+	}()
+}
+
+// branchRelease is clean after the if: one branch released the lock, so
+// the conservative tracking drops it.
+func (b *box) branchRelease(cond bool) {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+	} else {
+		b.val++
+		b.mu.Unlock()
+	}
+	b.ch <- 1
+}
+
+// closureInheritsLock: a synchronously-invoked closure built under the
+// lock still counts as running under it.
+func (b *box) closureInheritsLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := func() {
+		b.ch <- 1 // want `channel send while mutex b\.mu is held`
+	}
+	f()
+}
+
+// suppressed documents an intentional exception.
+func (b *box) suppressed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//hfcvet:ignore lockscope buffered channel owned by this goroutine, cannot block
+	b.ch <- 1
+}

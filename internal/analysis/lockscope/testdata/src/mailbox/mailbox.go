@@ -1,0 +1,43 @@
+// Package mailbox reintroduces the exact send-under-lock pattern that
+// PR 1 fixed by hand in the overlay mailbox loops: a state mutation and
+// a protocol send to a peer's bounded inbox inside the same critical
+// section. lockscope must report it (acceptance criterion for the
+// analyzer suite).
+package mailbox
+
+import "sync"
+
+type message struct{ seq uint64 }
+
+type node struct {
+	mu    sync.Mutex
+	seq   uint64
+	peers []*node
+	inbox chan message
+}
+
+// broadcastLocked is the deadlock: every peer doing this concurrently
+// with full inboxes forms a cycle of senders blocked under their own
+// locks, each waiting for a receiver that is blocked sending.
+func (n *node) broadcast() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seq++
+	m := message{seq: n.seq}
+	for _, p := range n.peers {
+		p.inbox <- m // want `channel send while mutex n\.mu is held`
+	}
+}
+
+// broadcastFixed is the PR 1 shape: snapshot under the lock, send after
+// releasing it. Clean.
+func (n *node) broadcastFixed() {
+	n.mu.Lock()
+	n.seq++
+	m := message{seq: n.seq}
+	peers := append([]*node(nil), n.peers...)
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.inbox <- m
+	}
+}

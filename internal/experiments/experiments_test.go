@@ -28,10 +28,10 @@ func TestRunFig9ShapeAndScaling(t *testing.T) {
 		t.Fatalf("got %d rows, want 2", len(rows))
 	}
 	for _, r := range rows {
-		if r.FlatCoordStates != float64(r.Proxies) {
+		if int(r.FlatCoordStates) != r.Proxies {
 			t.Errorf("flat coord states = %v, want %d", r.FlatCoordStates, r.Proxies)
 		}
-		if r.FlatServiceStates != float64(r.Proxies) {
+		if int(r.FlatServiceStates) != r.Proxies {
 			t.Errorf("flat service states = %v, want %d", r.FlatServiceStates, r.Proxies)
 		}
 		// The headline claim: hierarchical state is strictly smaller than

@@ -1,0 +1,32 @@
+// Package floats holds the epsilon comparison helpers the floatdist
+// analyzer steers float64 distance/coordinate comparisons through.
+package floats
+
+import "math"
+
+// Eps is the default tolerance for distance and coordinate comparisons:
+// loose enough to absorb the associativity noise of summing link delays
+// in different orders, tight enough to keep distinct embedded distances
+// (O(1) apart in every generator) distinguishable.
+const Eps = 1e-9
+
+// AlmostEqual reports whether a and b are equal within a mixed
+// absolute/relative tolerance of Eps. Infinities compare equal only to
+// themselves; NaN is equal to nothing, as usual.
+func AlmostEqual(a, b float64) bool {
+	if a == b { //hfcvet:ignore floatdist fast path and infinity handling need the exact compare
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) || math.IsNaN(diff) {
+		// Any remaining infinity (or NaN operand) differs: the fast path
+		// above already matched equal infinities, and Eps·Inf ≤ Inf would
+		// otherwise call +Inf "almost equal" to every large finite value.
+		return false
+	}
+	if diff <= Eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= Eps*scale
+}

@@ -1,0 +1,41 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{0.1 + 0.2, 0.3, true}, // the classic accumulated-error case
+		{1, 1 + 1e-12, true},
+		{1e9, 1e9 * (1 + 1e-12), true},
+		{1, 1.001, false},
+		{0, 1e-3, false},
+		{-1, 1, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e300, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualSymmetric(t *testing.T) {
+	pairs := [][2]float64{{1, 1 + 1e-12}, {1e-30, 2e-30}, {5, 7}, {0, Eps}}
+	for _, p := range pairs {
+		if AlmostEqual(p[0], p[1]) != AlmostEqual(p[1], p[0]) {
+			t.Errorf("AlmostEqual asymmetric for %v", p)
+		}
+	}
+}

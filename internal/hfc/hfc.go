@@ -77,6 +77,17 @@ func sortedKeys(set map[int]bool) []int {
 // every pair chosen so far (primary included). Disjointness guarantees the
 // first backup survives any single crash among the primary's endpoints;
 // small clusters yield fewer (possibly zero) backups.
+// improves reports whether candidate pair (a, b) at distance d should
+// replace the incumbent best pair: strictly closer, or an exact distance tie
+// broken toward smaller node indices so border election is deterministic.
+func improves(d, bestDist float64, a, b int, best BorderPair) bool {
+	if best.Low == -1 || d < bestDist {
+		return true
+	}
+	//hfcvet:ignore floatdist exact ties break toward smaller indices for deterministic border pairs
+	return d == bestDist && (a < best.Low || (a == best.Low && b < best.High))
+}
+
 func backupPairs(cmap *coords.Map, membersA, membersB []int, primary BorderPair, max int) []BorderPair {
 	used := map[int]bool{primary.Low: true, primary.High: true}
 	var out []BorderPair
@@ -92,8 +103,7 @@ func backupPairs(cmap *coords.Map, membersA, membersB []int, primary BorderPair,
 					continue
 				}
 				d := cmap.Dist(a, b)
-				if best.Low == -1 || d < bestDist ||
-					(d == bestDist && (a < best.Low || (a == best.Low && b < best.High))) {
+				if improves(d, bestDist, a, b, best) {
 					best = BorderPair{Low: a, High: b}
 					bestDist = d
 				}
@@ -119,8 +129,7 @@ func closestPair(cmap *coords.Map, membersA, membersB []int) (BorderPair, error)
 	for _, a := range membersA {
 		for _, b := range membersB {
 			d := cmap.Dist(a, b)
-			if best.Low == -1 || d < bestDist ||
-				(d == bestDist && (a < best.Low || (a == best.Low && b < best.High))) {
+			if improves(d, bestDist, a, b, best) {
 				best = BorderPair{Low: a, High: b}
 				bestDist = d
 			}

@@ -17,7 +17,7 @@ var ErrNoBandwidthModel = errors.New("netsim: topology has no bandwidth model")
 // queries. Only the QoS extension pays this cost.
 type bwState struct {
 	mu    sync.Mutex
-	trees map[int]*graph.PathResult
+	trees map[int]*graph.PathResult // guarded by mu
 }
 
 // Bottleneck returns the bandwidth available between physical nodes u and

@@ -95,20 +95,20 @@ var ErrRPCTimeout = errors.New("rpc deadline exceeded")
 // System is a running overlay of concurrent proxy nodes.
 type System struct {
 	topo *hfc.Topology
-	// caps is the ground-truth deployment; capsMu guards the slice and
-	// stored sets are treated as immutable (replaced, never mutated).
+	// capsMu protects the ground-truth deployment slice; stored sets are
+	// treated as immutable (replaced, never mutated).
 	capsMu sync.RWMutex
-	caps   []svc.CapabilitySet
+	caps   []svc.CapabilitySet // guarded by capsMu
 	cfg    Config
 	nodes  []*node
 
 	// inflight tracks undelivered/unprocessed messages so Quiesce can wait
 	// for protocol cascades to settle.
 	inflight sync.WaitGroup
-	// stopped guards double-stop.
+	// mu guards the start/stop lifecycle flags.
 	mu      sync.Mutex
-	started bool
-	stopped bool
+	started bool // guarded by mu
+	stopped bool // guarded by mu
 	wg      sync.WaitGroup
 
 	// sendMu serializes send admission against Stop: senders hold the
@@ -116,7 +116,7 @@ type System struct {
 	// takes the write side to flip accepting off, so a send can never
 	// slip past Stop's inflight.Wait and hit a closed inbox.
 	sendMu    sync.RWMutex
-	accepting bool
+	accepting bool // guarded by sendMu
 
 	// crashed[i] marks node i fail-stopped: every message addressed to it
 	// is silently discarded (and counted) at send time.
@@ -127,14 +127,16 @@ type System struct {
 	// by the per-entry sequence check.
 	round atomic.Uint64
 
-	// drop state (fault injection), guarded by dropMu.
+	// dropRng drives fault injection; the *rand.Rand pointer is immutable
+	// after New, but the generator's internal state is not concurrency-safe,
+	// so every draw happens under dropMu.
 	dropMu  sync.Mutex
 	dropRng *rand.Rand
-	faults  FaultStats
+	faults  FaultStats // guarded by dropMu
 
-	// traffic counters (delivered messages by kind), guarded by statMu.
+	// statMu protects the delivered-message counters.
 	statMu sync.Mutex
-	stats  TrafficStats
+	stats  TrafficStats // guarded by statMu
 }
 
 // FaultStats counts fault-injection and recovery events in the runtime.
@@ -242,7 +244,7 @@ type node struct {
 
 	// st guards the node's routing state, which worker goroutines read.
 	st    sync.RWMutex
-	state state.NodeState
+	state state.NodeState // guarded by st
 }
 
 // New builds a system over a constructed HFC topology and per-proxy
@@ -280,7 +282,9 @@ func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, err
 		// skip nodes it reports dead. A deployment would plug a gossip or
 		// heartbeat detector in here.
 		view.Alive = func(id int) bool { return !s.IsCrashed(id) }
-		n := &node{
+		// Every node knows its own cluster's aggregate of what it has seen
+		// so far (initially just itself).
+		s.nodes[i] = &node{
 			id:    i,
 			sys:   s,
 			view:  view,
@@ -288,13 +292,9 @@ func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, err
 			state: state.NodeState{
 				Node: i,
 				SCTP: map[int]svc.CapabilitySet{i: caps[i].Clone()},
-				SCTC: map[int]svc.CapabilitySet{},
+				SCTC: map[int]svc.CapabilitySet{view.ClusterID: caps[i].Clone()},
 			},
 		}
-		// Every node knows its own cluster's aggregate of what it has seen
-		// so far (initially just itself).
-		n.state.SCTC[view.ClusterID] = caps[i].Clone()
-		s.nodes[i] = n
 	}
 	return s, nil
 }

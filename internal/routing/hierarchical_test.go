@@ -9,6 +9,7 @@ import (
 
 	"hfc/internal/cluster"
 	"hfc/internal/coords"
+	"hfc/internal/floats"
 	"hfc/internal/hfc"
 	"hfc/internal/state"
 	"hfc/internal/svc"
@@ -440,7 +441,7 @@ func TestHFCMetricConsistentWithExpand(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Expand(%d,%d): %v", u, v, err)
 		}
-		if topo.PathLength(seq) != m.Dist(u, v) {
+		if !floats.AlmostEqual(topo.PathLength(seq), m.Dist(u, v)) {
 			t.Fatalf("Dist(%d,%d) = %v but expanded length = %v", u, v, m.Dist(u, v), topo.PathLength(seq))
 		}
 		// HFC distance dominates the direct embedded distance.
