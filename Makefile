@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench fmt
+.PHONY: all build test race lint bench bench-full bench-compare fmt
+
+# Output snapshot for the regression-gate benchmarks (see cmd/benchgate).
+BENCH_OUT ?= BENCH_pr3.json
 
 all: build test lint
 
@@ -23,7 +26,20 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/hfcvet ./...
 
+# bench runs the BenchmarkGate* regression gates and snapshots ns/op; CI
+# compares a fresh snapshot against the newest committed BENCH_*.json and
+# fails on >20% regressions.
 bench:
+	$(GO) run ./cmd/benchgate -write $(BENCH_OUT)
+
+# bench-compare gates the working tree against the newest committed
+# snapshot without overwriting it.
+bench-compare:
+	$(GO) run ./cmd/benchgate -write /tmp/bench-current.json
+	$(GO) run ./cmd/benchgate -compare "$$(ls BENCH_*.json | sort | tail -1),/tmp/bench-current.json"
+
+# bench-full runs the whole paper-reproduction benchmark suite.
+bench-full:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 fmt:

@@ -18,6 +18,7 @@ import (
 	"hfc/internal/coords"
 	"hfc/internal/env"
 	"hfc/internal/experiments"
+	"hfc/internal/hfc"
 	"hfc/internal/overlay"
 	"hfc/internal/routing"
 	"hfc/internal/state"
@@ -35,25 +36,166 @@ func benchSpecs(b *testing.B) []env.Spec {
 	return specs
 }
 
-// envCache builds each environment once per bench binary run.
+// envCache builds each environment once per bench binary run, keyed by the
+// FULL spec: two specs sharing a seed but differing in any other knob
+// (workers, cache flag, sizes) are distinct environments.
 var (
 	envMu    sync.Mutex
-	envCache = map[int64]*env.Environment{}
+	envCache = map[env.Spec]*env.Environment{}
 )
 
 func cachedEnv(b *testing.B, spec env.Spec) *env.Environment {
 	b.Helper()
 	envMu.Lock()
 	defer envMu.Unlock()
-	if e, ok := envCache[spec.Seed]; ok && e.Spec == spec {
+	if e, ok := envCache[spec]; ok {
 		return e
 	}
 	e, err := env.Build(spec)
 	if err != nil {
 		b.Fatalf("env.Build: %v", err)
 	}
-	envCache[spec.Seed] = e
+	envCache[spec] = e
 	return e
+}
+
+// ---- Regression-gate benchmarks ----
+//
+// The BenchmarkGate* family is what cmd/benchgate runs to produce
+// BENCH_*.json; CI compares the numbers against the last committed snapshot
+// and fails on >20% regressions. Keep these cheap, deterministic in shape,
+// and focused on the three hot paths: environment build, route resolution,
+// and HFC maintenance.
+
+func gateSpec() env.Spec {
+	spec := env.SmallSpec(42)
+	spec.Proxies = 120
+	return spec
+}
+
+func benchGateEnvBuild(b *testing.B, workers int) {
+	spec := gateSpec()
+	spec.Workers = workers
+	for i := 0; i < b.N; i++ {
+		s := spec
+		s.Seed = spec.Seed + int64(i)
+		if _, err := env.Build(s); err != nil {
+			b.Fatalf("Build: %v", err)
+		}
+	}
+}
+
+// BenchmarkGateEnvBuildSerial measures the end-to-end environment build on
+// one worker.
+func BenchmarkGateEnvBuildSerial(b *testing.B) { benchGateEnvBuild(b, 0) }
+
+// BenchmarkGateEnvBuildParallel measures the same build fanned across all
+// cores (identical output; see internal/env parallel tests).
+func BenchmarkGateEnvBuildParallel(b *testing.B) { benchGateEnvBuild(b, -1) }
+
+func benchGateRouteResolve(b *testing.B, cached bool) {
+	spec := gateSpec()
+	spec.CacheRoutes = cached
+	e := cachedEnv(b, spec)
+	reqs := make([]svc.Request, 64)
+	for i := range reqs {
+		r, err := e.NextRequest()
+		if err != nil {
+			b.Fatalf("NextRequest: %v", err)
+		}
+		reqs[i] = r
+	}
+	if cached {
+		// Warm the cache so the benchmark measures steady-state hits.
+		for _, r := range reqs {
+			if _, err := e.Framework.Route(r); err != nil {
+				b.Fatalf("warm Route: %v", err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Framework.Route(reqs[i%len(reqs)]); err != nil {
+			b.Fatalf("Route: %v", err)
+		}
+	}
+}
+
+// BenchmarkGateRouteResolve measures uncached hierarchical route resolution.
+func BenchmarkGateRouteResolve(b *testing.B) { benchGateRouteResolve(b, false) }
+
+// BenchmarkGateRouteResolveCached measures the same request stream with the
+// route cache on (steady state: every cycle after the first hits).
+func BenchmarkGateRouteResolveCached(b *testing.B) { benchGateRouteResolve(b, true) }
+
+// maintenanceFixture builds a 512-node, ~16-cluster topology for the
+// maintenance benchmarks.
+func maintenanceFixture(b *testing.B) *hfc.Topology {
+	b.Helper()
+	rng := rand.New(rand.NewSource(8))
+	n, k := 512, 16
+	pts := make([]coords.Point, n)
+	for i := range pts {
+		c := i % k
+		pts[i] = coords.Point{float64(c%4)*300 + rng.Float64()*40, float64(c/4)*300 + rng.Float64()*40}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		b.Fatalf("NewMap: %v", err)
+	}
+	res, err := cluster.Cluster(n, cmap.Dist, cluster.DefaultConfig())
+	if err != nil {
+		b.Fatalf("Cluster: %v", err)
+	}
+	topo, err := hfc.Build(cmap, res)
+	if err != nil {
+		b.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+// BenchmarkGateIncrementalMaintenance measures one churn event (border node
+// leaves, then rejoins) under incremental border maintenance.
+func BenchmarkGateIncrementalMaintenance(b *testing.B) {
+	topo := maintenanceFixture(b)
+	dyn := hfc.NewDynamic(topo)
+	borders := topo.BorderNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := borders[i%len(borders)]
+		if err := dyn.Leave(node); err != nil {
+			b.Fatalf("Leave: %v", err)
+		}
+		if err := dyn.Rejoin(node); err != nil {
+			b.Fatalf("Rejoin: %v", err)
+		}
+	}
+}
+
+// BenchmarkGateFullRebuildMaintenance measures the same churn event handled
+// the pre-incremental way: a full border re-election after every membership
+// change. The ratio against BenchmarkGateIncrementalMaintenance is the
+// speedup the incremental path buys.
+func BenchmarkGateFullRebuildMaintenance(b *testing.B) {
+	topo := maintenanceFixture(b)
+	dyn := hfc.NewDynamic(topo)
+	borders := topo.BorderNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := borders[i%len(borders)]
+		if err := dyn.Leave(node); err != nil {
+			b.Fatalf("Leave: %v", err)
+		}
+		if err := dyn.Rebuild(); err != nil {
+			b.Fatalf("Rebuild: %v", err)
+		}
+		if err := dyn.Rejoin(node); err != nil {
+			b.Fatalf("Rejoin: %v", err)
+		}
+		if err := dyn.Rebuild(); err != nil {
+			b.Fatalf("Rebuild: %v", err)
+		}
+	}
 }
 
 // BenchmarkTable1EnvBuild regenerates Table 1: the cost of building each

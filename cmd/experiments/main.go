@@ -37,6 +37,8 @@ func run() error {
 	full := flag.Bool("full", false, "paper-scale sample sizes (5 trials, 1000 requests; takes minutes)")
 	trials := flag.Int("trials", 0, "override trial count")
 	requests := flag.Int("requests", 0, "override request count")
+	parallel := flag.Int("parallel", 0, "worker pool for environment builds (0/1 serial, -1 all cores; results are bit-identical)")
+	routeCache := flag.Bool("route-cache", false, "enable the invalidation-aware route cache in built frameworks")
 	flag.Parse()
 
 	nTrials, nRequests := 2, 200
@@ -62,6 +64,10 @@ func run() error {
 	}
 	all := want["all"]
 	specs := env.Table1(*seed)
+	for i := range specs {
+		specs[i].Workers = *parallel
+		specs[i].CacheRoutes = *routeCache
+	}
 
 	// The ablations run on the 250-proxy environment; paper-scale sweeps
 	// on every size would add little beyond runtime.

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzZahnCluster drives Cluster with arbitrary point sets and
+// configurations decoded from the fuzz input, asserting the structural
+// invariants every result must satisfy: no panic, a total assignment in
+// range, cluster membership lists consistent with the assignment, and the
+// MinClusterSize floor respected.
+func FuzzZahnCluster(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{3, 2, 10, 10, 200, 200, 10, 200, 200, 10, 100, 100})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 4, 255, 0, 0, 255, 128, 128, 64, 192, 32, 32, 224, 224})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		cfg := Config{
+			// > 1 required; spread over (1, 6.1].
+			InconsistencyFactor: 1.02 + float64(data[0]%100)/19.6,
+			NeighborhoodDepth:   1 + int(data[0]>>4),
+			Criterion:           Criterion(1 + int(data[1])%4),
+			MinClusterSize:      1 + int(data[1]>>5),
+		}
+		coords := data[2:]
+		n := len(coords) / 2
+		if n > 64 {
+			n = 64
+		}
+		if n < 1 {
+			t.Skip()
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(coords[2*i])
+			ys[i] = float64(coords[2*i+1])
+		}
+		dist := func(i, j int) float64 {
+			return math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+		}
+		res, err := Cluster(n, dist, cfg)
+		if err != nil {
+			return // invalid inputs may be rejected, never panic
+		}
+		if len(res.Assignment) != n {
+			t.Fatalf("assignment covers %d of %d points", len(res.Assignment), n)
+		}
+		k := len(res.Clusters)
+		if k < 1 {
+			t.Fatal("no clusters returned")
+		}
+		for i, c := range res.Assignment {
+			if c < 0 || c >= k {
+				t.Fatalf("point %d assigned to cluster %d of %d", i, c, k)
+			}
+		}
+		seen := 0
+		for c, members := range res.Clusters {
+			if len(members) == 0 {
+				t.Fatalf("cluster %d is empty", c)
+			}
+			if k > 1 && len(members) < cfg.MinClusterSize {
+				t.Fatalf("cluster %d has %d members below floor %d", c, len(members), cfg.MinClusterSize)
+			}
+			for _, m := range members {
+				if m < 0 || m >= n {
+					t.Fatalf("cluster %d contains out-of-range point %d", c, m)
+				}
+				if res.Assignment[m] != c {
+					t.Fatalf("point %d listed in cluster %d but assigned to %d", m, c, res.Assignment[m])
+				}
+				seen++
+			}
+		}
+		if seen != n {
+			t.Fatalf("cluster lists cover %d of %d points", seen, n)
+		}
+		if len(res.MSTEdges) != n-1 {
+			t.Fatalf("MST has %d edges for %d points", len(res.MSTEdges), n)
+		}
+	})
+}
+
+// FuzzClusterDeterminism re-runs Cluster on the same decoded instance and
+// requires byte-identical results — the determinism contract the parallel
+// build relies on.
+func FuzzClusterDeterminism(f *testing.F) {
+	f.Add(uint16(12), []byte{9, 9, 30, 200, 77, 1, 160, 90, 2, 250})
+	f.Fuzz(func(t *testing.T, seedN uint16, data []byte) {
+		n := int(seedN)%32 + 2
+		if len(data) < 2 {
+			t.Skip()
+		}
+		dist := func(i, j int) float64 {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			mix := data[(lo*7+hi*13)%len(data)]
+			return 1 + float64(mix)*float64(lo+1)/float64(hi+1)
+		}
+		a, errA := Cluster(n, dist, DefaultConfig())
+		b, errB := Cluster(n, dist, DefaultConfig())
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("one run failed: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if len(a.Assignment) != len(b.Assignment) {
+			t.Fatal("assignment lengths differ between identical runs")
+		}
+		for i := range a.Assignment {
+			if a.Assignment[i] != b.Assignment[i] {
+				t.Fatalf("point %d assigned %d then %d on identical input", i, a.Assignment[i], b.Assignment[i])
+			}
+		}
+	})
+}

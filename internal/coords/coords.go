@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"hfc/internal/optimize"
+	"hfc/internal/par"
 )
 
 // Point is a position in the k-dimensional embedding space.
@@ -54,6 +55,16 @@ const relErrEps = 1e-6
 // dists must be a symmetric m×m matrix with zero diagonal and positive
 // off-diagonal entries.
 func EmbedLandmarks(rng *rand.Rand, dists [][]float64, dim int) ([]Point, error) {
+	return EmbedLandmarksWorkers(rng, dists, dim, 1)
+}
+
+// EmbedLandmarksWorkers is EmbedLandmarks with the restart attempts solved
+// on a bounded worker pool. Every random start is drawn from rng
+// sequentially (in attempt order) BEFORE any minimization runs, and the
+// Nelder–Mead solver consumes no randomness, so the result — and the rng
+// stream left behind for the caller — is bit-identical to the serial path
+// for any worker count.
+func EmbedLandmarksWorkers(rng *rand.Rand, dists [][]float64, dim, workers int) ([]Point, error) {
 	if rng == nil {
 		return nil, errors.New("coords: nil rng")
 	}
@@ -101,25 +112,39 @@ func EmbedLandmarks(rng *rand.Rand, dists [][]float64, dim int) ([]Point, error)
 		return sum
 	}
 
+	// Draw every random start up front (sequentially, in attempt order) so
+	// the minimizations are pure and can fan out across workers without
+	// perturbing the rng stream.
 	const attempts = 4
-	var best optimize.Result
-	bestSet := false
-	for a := 0; a < attempts; a++ {
+	starts := make([][]float64, attempts)
+	for a := range starts {
 		x0 := make([]float64, m*dim)
 		for i := range x0 {
 			x0[i] = (rng.Float64() - 0.5) * maxD
 		}
-		res, err := optimize.Minimize(objective, x0, optimize.Options{
+		starts[a] = x0
+	}
+	results := make([]optimize.Result, attempts)
+	if err := par.ForErr(attempts, workers, func(a int) error {
+		res, err := optimize.Minimize(objective, starts[a], optimize.Options{
 			InitialStep: maxD / 4,
 			Restarts:    2,
 			MaxIter:     4000 * m * dim,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("coords: landmark embedding: %w", err)
+			return fmt.Errorf("coords: landmark embedding: %w", err)
 		}
-		if !bestSet || res.F < best.F {
+		results[a] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Merge in attempt order with the same strict-< rule as the serial
+	// loop, so ties keep resolving toward the earlier attempt.
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.F < best.F {
 			best = res
-			bestSet = true
 		}
 	}
 
@@ -141,11 +166,26 @@ func pointDist(x []float64, i, j, dim int) float64 {
 	return math.Sqrt(sum)
 }
 
-// PlaceNode derives the coordinates of a single node from its measured
-// distances to the landmarks (one per landmark, aligned by index), again by
-// minimizing the sum of squared relative errors. This is the second GNP
-// phase: each ordinary proxy solves this small problem for itself.
-func PlaceNode(rng *rand.Rand, landmarks []Point, dists []float64) (Point, error) {
+// placementAttempts is how many starts PlaceNode tries: the landmark
+// centroid plus two random perturbations of it.
+const placementAttempts = 3
+
+// placementProblem is one node's GNP phase-2 placement with every random
+// start already drawn: Solve is pure (the Nelder–Mead solver consumes no
+// randomness), so problems built sequentially can be solved on any number
+// of workers with bit-identical results.
+type placementProblem struct {
+	landmarks []Point
+	dists     []float64
+	maxD      float64
+	starts    [][]float64
+}
+
+// newPlacementProblem validates the inputs and draws the random starts in
+// the exact order the serial PlaceNode loop used to: the centroid start
+// first (no draws), then dim jitter values for each of the two remaining
+// attempts. dists is copied, so callers may reuse their buffer.
+func newPlacementProblem(rng *rand.Rand, landmarks []Point, dists []float64) (*placementProblem, error) {
 	if rng == nil {
 		return nil, errors.New("coords: nil rng")
 	}
@@ -168,41 +208,54 @@ func PlaceNode(rng *rand.Rand, landmarks []Point, dists []float64) (Point, error
 			maxD = dists[i]
 		}
 	}
+	p := &placementProblem{
+		landmarks: landmarks,
+		dists:     append([]float64(nil), dists...),
+		maxD:      maxD,
+		starts:    make([][]float64, placementAttempts),
+	}
+	centroid := make([]float64, dim)
+	for _, lm := range landmarks {
+		for d := 0; d < dim; d++ {
+			centroid[d] += lm[d] / float64(len(landmarks))
+		}
+	}
+	for a := 0; a < placementAttempts; a++ {
+		x0 := append([]float64(nil), centroid...)
+		if a > 0 {
+			for d := 0; d < dim; d++ {
+				x0[d] += (rng.Float64() - 0.5) * maxD
+			}
+		}
+		p.starts[a] = x0
+	}
+	return p, nil
+}
 
+// solve runs the minimization over the pre-drawn starts and keeps the best
+// result (strict <, so ties resolve toward the earlier attempt, exactly
+// like the serial loop).
+func (p *placementProblem) solve() (Point, error) {
+	dim := len(p.landmarks[0])
 	objective := func(x []float64) float64 {
 		sum := 0.0
-		for i, lm := range landmarks {
+		for i, lm := range p.landmarks {
 			pred := 0.0
 			for d := 0; d < dim; d++ {
 				diff := x[d] - lm[d]
 				pred += diff * diff
 			}
 			pred = math.Sqrt(pred)
-			rel := (pred - dists[i]) / (dists[i] + relErrEps)
+			rel := (pred - p.dists[i]) / (p.dists[i] + relErrEps)
 			sum += rel * rel
 		}
 		return sum
 	}
-
-	// Start from the centroid of the landmarks plus small jitter; also try
-	// a couple of random starts.
-	const attempts = 3
 	var best optimize.Result
 	bestSet := false
-	for a := 0; a < attempts; a++ {
-		x0 := make([]float64, dim)
-		for _, lm := range landmarks {
-			for d := 0; d < dim; d++ {
-				x0[d] += lm[d] / float64(len(landmarks))
-			}
-		}
-		if a > 0 {
-			for d := 0; d < dim; d++ {
-				x0[d] += (rng.Float64() - 0.5) * maxD
-			}
-		}
+	for _, x0 := range p.starts {
 		res, err := optimize.Minimize(objective, x0, optimize.Options{
-			InitialStep: math.Max(maxD/4, 1),
+			InitialStep: math.Max(p.maxD/4, 1),
 			Restarts:    1,
 		})
 		if err != nil {
@@ -214,6 +267,18 @@ func PlaceNode(rng *rand.Rand, landmarks []Point, dists []float64) (Point, error
 		}
 	}
 	return Point(best.X), nil
+}
+
+// PlaceNode derives the coordinates of a single node from its measured
+// distances to the landmarks (one per landmark, aligned by index), again by
+// minimizing the sum of squared relative errors. This is the second GNP
+// phase: each ordinary proxy solves this small problem for itself.
+func PlaceNode(rng *rand.Rand, landmarks []Point, dists []float64) (Point, error) {
+	p, err := newPlacementProblem(rng, landmarks, dists)
+	if err != nil {
+		return nil, err
+	}
+	return p.solve()
 }
 
 // Map is a completed distance map: the embedded coordinates of every overlay
@@ -248,6 +313,26 @@ func (m *Map) N() int { return len(m.Points) }
 
 // Dist returns the predicted distance between overlay nodes i and j.
 func (m *Map) Dist(i, j int) float64 { return Dist(m.Points[i], m.Points[j]) }
+
+// DistMatrix materializes the full pairwise-distance matrix on a bounded
+// worker pool (rows fan out across workers). Every entry equals the
+// corresponding Dist(i, j) call bit-for-bit — the matrix only trades
+// memory for the repeated evaluations clustering performs — so consumers
+// may use either interchangeably without perturbing results.
+func (m *Map) DistMatrix(workers int) [][]float64 {
+	n := m.N()
+	out := make([][]float64, n)
+	par.For(n, workers, func(i int) {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if j != i {
+				row[j] = Dist(m.Points[i], m.Points[j])
+			}
+		}
+		out[i] = row
+	})
+	return out
+}
 
 // RelativeError quantifies embedding quality for a pair: |pred − actual| /
 // actual (using the regularized denominator for tiny actuals).

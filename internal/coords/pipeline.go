@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"hfc/internal/par"
 )
 
 // Measurer is the measurement capability the GNP pipeline needs from the
@@ -26,6 +28,20 @@ type Measurer interface {
 // only serve as reference points and take no further part in the overlay
 // (§3.1), so they are not included in the Map.
 func BuildMap(rng *rand.Rand, m Measurer, landmarks, nodes []int, dim, probes int) (*Map, []Point, error) {
+	return BuildMapWorkers(rng, m, landmarks, nodes, dim, probes, 1)
+}
+
+// BuildMapWorkers is BuildMap with the function minimizations fanned out
+// across a bounded worker pool (negative workers selects GOMAXPROCS; zero
+// or one selects the serial path).
+//
+// Determinism contract: every rng draw — landmark measurements, per-node
+// measurements, per-node placement jitters — happens sequentially on the
+// calling goroutine in exactly the order the serial path draws them; only
+// the rng-free Nelder–Mead solves run on the pool, and their results merge
+// by node index. The returned map is therefore bit-identical to BuildMap
+// for any worker count.
+func BuildMapWorkers(rng *rand.Rand, m Measurer, landmarks, nodes []int, dim, probes, workers int) (*Map, []Point, error) {
 	if rng == nil {
 		return nil, nil, errors.New("coords: nil rng")
 	}
@@ -58,13 +74,15 @@ func BuildMap(rng *rand.Rand, m Measurer, landmarks, nodes []int, dim, probes in
 			dists[j][i] = d
 		}
 	}
-	lmPoints, err := EmbedLandmarks(rng, dists, dim)
+	lmPoints, err := EmbedLandmarksWorkers(rng, dists, dim, workers)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// Phase 2: place every overlay node relative to the landmarks.
-	points := make([]Point, len(nodes))
+	// Measurements and placement jitters draw from rng sequentially per
+	// node (exactly the serial order); the rng-free solves then fan out.
+	problems := make([]*placementProblem, len(nodes))
 	nodeDists := make([]float64, lm)
 	for i, node := range nodes {
 		for j, l := range landmarks {
@@ -74,11 +92,22 @@ func BuildMap(rng *rand.Rand, m Measurer, landmarks, nodes []int, dim, probes in
 			}
 			nodeDists[j] = d
 		}
-		p, err := PlaceNode(rng, lmPoints, nodeDists)
+		p, err := newPlacementProblem(rng, lmPoints, nodeDists)
 		if err != nil {
 			return nil, nil, fmt.Errorf("coords: placing node %d: %w", node, err)
 		}
+		problems[i] = p
+	}
+	points := make([]Point, len(nodes))
+	if err := par.ForErr(len(nodes), workers, func(i int) error {
+		p, err := problems[i].solve()
+		if err != nil {
+			return fmt.Errorf("coords: placing node %d: %w", nodes[i], err)
+		}
 		points[i] = p
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	cmap, err := NewMap(points)
 	if err != nil {

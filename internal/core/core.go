@@ -20,6 +20,7 @@ import (
 	"hfc/internal/cluster"
 	"hfc/internal/coords"
 	"hfc/internal/hfc"
+	"hfc/internal/par"
 	"hfc/internal/routing"
 	"hfc/internal/state"
 	"hfc/internal/svc"
@@ -38,6 +39,15 @@ type Config struct {
 	Cluster cluster.Config
 	// Relax selects the cluster-level relaxation mode (§5.1 step 2).
 	Relax routing.RelaxMode
+	// Workers bounds the worker pool Bootstrap fans the rng-free pipeline
+	// stages out on — coordinate solves, pairwise distances, border scans
+	// (0/1 serial, negative = all cores). The framework is bit-identical
+	// for any value; see internal/par for the determinism contract.
+	Workers int
+	// CacheRoutes enables an invalidation-aware route cache inside the
+	// Framework. Bootstrap's states are static, so entries never go stale;
+	// repeated requests are answered from cache. Default off.
+	CacheRoutes bool
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +71,10 @@ type Framework struct {
 	stateMsgs state.MessageStats
 	relax     routing.RelaxMode
 	landmarks []coords.Point
+	// cache, when non-nil, memoizes RouteDetailed results; the framework's
+	// states are immutable, so entries never need invalidating. Internally
+	// synchronized; cached results are shared read-only values.
+	cache *routing.RouteCache
 }
 
 // Bootstrap builds the framework. m is the measurement substrate (the
@@ -76,15 +90,23 @@ func Bootstrap(rng *rand.Rand, m coords.Measurer, landmarks, proxies []int, caps
 	}
 	cfg = cfg.withDefaults()
 
-	cmap, lmPoints, err := coords.BuildMap(rng, m, landmarks, proxies, cfg.CoordDim, cfg.Probes)
+	cmap, lmPoints, err := coords.BuildMapWorkers(rng, m, landmarks, proxies, cfg.CoordDim, cfg.Probes, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: distance map: %w", err)
 	}
-	clustering, err := cluster.Cluster(cmap.N(), cmap.Dist, cfg.Cluster)
+	// With a pool available, trade memory for the repeated distance
+	// evaluations clustering performs: the precomputed matrix holds the
+	// exact same values Dist returns, so the clustering is unchanged.
+	dist := cmap.Dist
+	if par.Workers(cfg.Workers) > 1 {
+		matrix := cmap.DistMatrix(cfg.Workers)
+		dist = func(i, j int) float64 { return matrix[i][j] }
+	}
+	clustering, err := cluster.Cluster(cmap.N(), dist, cfg.Cluster)
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
-	topo, err := hfc.Build(cmap, clustering)
+	topo, err := hfc.BuildParallel(cmap, clustering, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: hfc topology: %w", err)
 	}
@@ -96,6 +118,10 @@ func Bootstrap(rng *rand.Rand, m coords.Measurer, landmarks, proxies []int, caps
 	for i, c := range caps {
 		capsCopy[i] = c.Clone()
 	}
+	var cache *routing.RouteCache
+	if cfg.CacheRoutes {
+		cache = routing.NewRouteCache()
+	}
 	return &Framework{
 		topo:      topo,
 		caps:      capsCopy,
@@ -103,16 +129,19 @@ func Bootstrap(rng *rand.Rand, m coords.Measurer, landmarks, proxies []int, caps
 		stateMsgs: msgs,
 		relax:     cfg.Relax,
 		landmarks: lmPoints,
+		cache:     cache,
 	}, nil
 }
 
 // Route answers a service request (overlay-index endpoints) with the
-// hierarchical §5 procedure.
+// hierarchical §5 procedure. With Config.CacheRoutes, repeated requests
+// return the same shared (read-only) path from cache.
 func (f *Framework) Route(req svc.Request) (*routing.Path, error) {
-	if err := req.Validate(f.topo.N()); err != nil {
+	res, err := f.RouteDetailed(req)
+	if err != nil {
 		return nil, err
 	}
-	return routing.RouteHierarchical(f.topo, f.states, req, f.relax)
+	return res.Path, nil
 }
 
 // RouteDetailed returns the full routing result, including the CSP and
@@ -121,11 +150,35 @@ func (f *Framework) RouteDetailed(req svc.Request) (*routing.Result, error) {
 	if err := req.Validate(f.topo.N()); err != nil {
 		return nil, err
 	}
+	var key routing.CacheKey
+	var canonical string
+	var version uint64
+	if f.cache != nil {
+		canonical = req.SG.Canonical()
+		key = routing.NewCacheKey(req.Source, req.Dest, req.SG)
+		if v, ok := f.cache.Get(key, canonical); ok {
+			return v.(*routing.Result), nil
+		}
+		version = f.cache.Version()
+	}
 	r, err := routing.NewHierarchicalRouter(f.topo, f.states, req.Dest, f.relax)
 	if err != nil {
 		return nil, err
 	}
-	return r.Route(req)
+	res, err := r.Route(req)
+	if err == nil && f.cache != nil {
+		f.cache.Put(key, canonical, res, nil, version)
+	}
+	return res, err
+}
+
+// RouteCacheStats snapshots the route cache's counters; ok is false when
+// caching is disabled.
+func (f *Framework) RouteCacheStats() (stats routing.CacheStats, ok bool) {
+	if f.cache == nil {
+		return routing.CacheStats{}, false
+	}
+	return f.cache.Stats(), true
 }
 
 // Topology exposes the constructed HFC topology.

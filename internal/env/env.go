@@ -48,6 +48,14 @@ type Spec struct {
 	// InconsistencyK overrides the MST clustering inconsistency factor
 	// when non-zero (ablation A1); zero keeps the library default.
 	InconsistencyK float64
+	// Workers bounds the worker pool the build's rng-free stages fan out
+	// on — delay precomputation, coordinate solves, border scans, routing
+	// tables (0/1 serial, negative = all cores). The built environment is
+	// bit-identical for any value.
+	Workers int
+	// CacheRoutes enables the framework's route cache (repeated requests
+	// answered from memory; safe because the bootstrapped state is static).
+	CacheRoutes bool
 	// Seed drives all randomness in the build.
 	Seed int64
 }
@@ -156,7 +164,7 @@ func Build(spec Spec) (*Environment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("env: %w", err)
 	}
-	net, err := netsim.New(topo)
+	net, err := netsim.New(topo, netsim.WithWorkers(spec.Workers))
 	if err != nil {
 		return nil, fmt.Errorf("env: %w", err)
 	}
@@ -199,8 +207,10 @@ func Build(spec Spec) (*Environment, error) {
 	}
 
 	coreCfg := core.Config{
-		CoordDim: spec.CoordDim,
-		Probes:   spec.Probes,
+		CoordDim:    spec.CoordDim,
+		Probes:      spec.Probes,
+		Workers:     spec.Workers,
+		CacheRoutes: spec.CacheRoutes,
 	}
 	if spec.InconsistencyK != 0 {
 		coreCfg.Cluster.InconsistencyFactor = spec.InconsistencyK
@@ -210,7 +220,9 @@ func Build(spec Spec) (*Environment, error) {
 		return nil, fmt.Errorf("env: %w", err)
 	}
 
-	m, err := mesh.Build(rng, fw.Topology().Coords(), mesh.DefaultConfig())
+	meshCfg := mesh.DefaultConfig()
+	meshCfg.Workers = spec.Workers
+	m, err := mesh.Build(rng, fw.Topology().Coords(), meshCfg)
 	if err != nil {
 		return nil, fmt.Errorf("env: %w", err)
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"hfc/internal/par"
 )
 
 // ErrNoPath is returned when no path exists between the requested endpoints.
@@ -99,13 +101,25 @@ type APSP struct {
 // distance matrix. For the graph sizes in this simulator (≤ a few thousand
 // vertices) this is faster in practice than Floyd–Warshall on sparse graphs.
 func (g *Graph) AllPairsShortestPaths() (*APSP, error) {
+	return g.AllPairsShortestPathsWorkers(1)
+}
+
+// AllPairsShortestPathsWorkers is AllPairsShortestPaths with the
+// per-source Dijkstra runs fanned out across a bounded worker pool.
+// Each source's run only reads the (immutable) adjacency lists and writes
+// its own distance row, so the matrix is bit-identical to the serial loop
+// for any worker count.
+func (g *Graph) AllPairsShortestPathsWorkers(workers int) (*APSP, error) {
 	dist := make([][]float64, g.n)
-	for s := 0; s < g.n; s++ {
+	if err := par.ForErr(g.n, workers, func(s int) error {
 		r, err := g.Dijkstra(s)
 		if err != nil {
-			return nil, fmt.Errorf("graph: apsp from %d: %w", s, err)
+			return fmt.Errorf("graph: apsp from %d: %w", s, err)
 		}
 		dist[s] = r.Dist
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return &APSP{n: g.n, dist: dist}, nil
 }

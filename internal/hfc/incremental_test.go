@@ -1,0 +1,177 @@
+package hfc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rebuildReference builds a fresh Dynamic over the same topology, replays
+// the live/absent membership, and runs a full Rebuild — the ground truth
+// incremental maintenance must match.
+func rebuildReference(t *testing.T, topo *Topology, present []bool) *Dynamic {
+	t.Helper()
+	ref := NewDynamic(topo)
+	for node, p := range present {
+		if !p {
+			if err := ref.Leave(node); err != nil {
+				t.Fatalf("reference Leave(%d): %v", node, err)
+			}
+		}
+	}
+	if err := ref.Rebuild(); err != nil {
+		t.Fatalf("reference Rebuild: %v", err)
+	}
+	return ref
+}
+
+// TestDynamicEquivalentToRebuildUnderChurn is the satellite equivalence
+// property test: after ANY sequence of leaves and rejoins, the incremental
+// border tables equal a full rebuild over the same live membership. Border
+// endpoints are deliberately targeted (they are the nodes whose departure
+// actually changes elections).
+func TestDynamicEquivalentToRebuildUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		n := 30 + rng.Intn(50)
+		k := 3 + rng.Intn(4)
+		cmap, clustering := randomClusteredInstance(rng, n, k)
+		topo, err := Build(cmap, clustering)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		dyn := NewDynamic(topo)
+		present := make([]bool, n)
+		for i := range present {
+			present[i] = true
+		}
+		for step := 0; step < 60; step++ {
+			// Half the time target a current border endpoint, otherwise a
+			// uniform node; flip its membership.
+			var node int
+			if rng.Intn(2) == 0 && len(topo.BorderNodes()) > 0 {
+				node = topo.BorderNodes()[rng.Intn(len(topo.BorderNodes()))]
+			} else {
+				node = rng.Intn(n)
+			}
+			if present[node] {
+				// Keep every cluster non-empty so routing stays defined.
+				c := topo.ClusterOf(node)
+				if len(dyn.Members(c)) == 1 {
+					continue
+				}
+				if err := dyn.Leave(node); err != nil {
+					t.Fatalf("Leave(%d): %v", node, err)
+				}
+			} else {
+				if err := dyn.Rejoin(node); err != nil {
+					t.Fatalf("Rejoin(%d): %v", node, err)
+				}
+			}
+			present[node] = !present[node]
+
+			ref := rebuildReference(t, topo, present)
+			if !reflect.DeepEqual(dyn.borders, ref.borders) {
+				t.Fatalf("trial %d step %d: incremental borders diverge from rebuild", trial, step)
+			}
+			if !reflect.DeepEqual(dyn.backups, ref.backups) {
+				t.Fatalf("trial %d step %d: incremental backups diverge from rebuild", trial, step)
+			}
+		}
+		// The incremental path must actually skip work: strictly fewer
+		// recomputes than checks (the whole point of the maintenance).
+		st := dyn.Stats()
+		if st.PairsRecomputed >= st.PairsChecked {
+			t.Errorf("trial %d: recomputed %d of %d checked pairs — nothing was skipped",
+				trial, st.PairsRecomputed, st.PairsChecked)
+		}
+	}
+}
+
+func TestDynamicNoChurnMatchesStatic(t *testing.T) {
+	cmap, clustering := randomClusteredInstance(rand.New(rand.NewSource(3)), 40, 4)
+	topo, err := Build(cmap, clustering)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dyn := NewDynamic(topo)
+	k := topo.NumClusters()
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a == b {
+				continue
+			}
+			wantA, wantB, err := topo.Border(a, b)
+			if err != nil {
+				t.Fatalf("Border(%d,%d): %v", a, b, err)
+			}
+			gotA, gotB, ok := dyn.Border(a, b)
+			if !ok || gotA != wantA || gotB != wantB {
+				t.Errorf("dyn.Border(%d,%d) = (%d,%d,%v), want (%d,%d,true)", a, b, gotA, gotB, ok, wantA, wantB)
+			}
+		}
+	}
+}
+
+func TestDynamicMembershipErrors(t *testing.T) {
+	cmap, clustering := randomClusteredInstance(rand.New(rand.NewSource(4)), 12, 3)
+	topo, err := Build(cmap, clustering)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dyn := NewDynamic(topo)
+	if err := dyn.Leave(-1); err == nil {
+		t.Error("out-of-range Leave accepted")
+	}
+	if err := dyn.Rejoin(0); err == nil {
+		t.Error("Rejoin of a present node accepted")
+	}
+	if err := dyn.Leave(0); err != nil {
+		t.Fatalf("Leave(0): %v", err)
+	}
+	if err := dyn.Leave(0); err == nil {
+		t.Error("double Leave accepted")
+	}
+	if dyn.Present(0) {
+		t.Error("node 0 still present after Leave")
+	}
+	if err := dyn.Rejoin(0); err != nil {
+		t.Fatalf("Rejoin(0): %v", err)
+	}
+	if !dyn.Present(0) {
+		t.Error("node 0 absent after Rejoin")
+	}
+}
+
+// TestDynamicEmptiedClusterClearsPairs drains a whole cluster and checks
+// its pairs disappear, then repopulates it and checks they come back.
+func TestDynamicEmptiedClusterClearsPairs(t *testing.T) {
+	cmap, clustering := randomClusteredInstance(rand.New(rand.NewSource(5)), 12, 3)
+	topo, err := Build(cmap, clustering)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dyn := NewDynamic(topo)
+	victims := append([]int(nil), topo.Members(0)...)
+	for _, v := range victims {
+		if err := dyn.Leave(v); err != nil {
+			t.Fatalf("Leave(%d): %v", v, err)
+		}
+	}
+	if _, _, ok := dyn.Border(0, 1); ok {
+		t.Error("border to an emptied cluster still exists")
+	}
+	for _, v := range victims {
+		if err := dyn.Rejoin(v); err != nil {
+			t.Fatalf("Rejoin(%d): %v", v, err)
+		}
+	}
+	wantA, wantB, err := topo.Border(0, 1)
+	if err != nil {
+		t.Fatalf("Border: %v", err)
+	}
+	gotA, gotB, ok := dyn.Border(0, 1)
+	if !ok || gotA != wantA || gotB != wantB {
+		t.Errorf("after full rejoin Border(0,1) = (%d,%d,%v), want (%d,%d,true)", gotA, gotB, ok, wantA, wantB)
+	}
+}

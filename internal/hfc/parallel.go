@@ -1,0 +1,109 @@
+package hfc
+
+import (
+	"errors"
+	"fmt"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/par"
+)
+
+// pairResult is the per-cluster-pair output of the parallel border scan.
+type pairResult struct {
+	a, b    int
+	primary BorderPair
+	backups []BorderPair
+	err     error
+}
+
+// BuildParallel is Build with the per-cluster-pair border scans — the §3.3
+// closest-pair searches and their node-disjoint backup rankings — fanned out
+// across a bounded worker pool (zero or one workers selects the serial
+// scan; negative selects GOMAXPROCS).
+//
+// Determinism contract: each cluster pair's scan reads only the immutable
+// coordinate map and member lists and writes a slot private to that pair;
+// assembly then walks the pairs in exactly Build's a < b order. The
+// resulting topology is therefore bit-identical to Build(cmap, clustering)
+// for any worker count. Only the paper's closest-pair rule is supported —
+// the ablation selectors draw from rng and must stay on BuildWithSelector.
+func BuildParallel(cmap *coords.Map, clustering *cluster.Result, workers int) (*Topology, error) {
+	if cmap == nil {
+		return nil, errors.New("hfc: nil coordinate map")
+	}
+	if clustering == nil {
+		return nil, errors.New("hfc: nil clustering")
+	}
+	if len(clustering.Assignment) != cmap.N() {
+		return nil, fmt.Errorf("hfc: clustering covers %d nodes but map has %d", len(clustering.Assignment), cmap.N())
+	}
+	k := clustering.NumClusters()
+	results := make([]pairResult, 0, k*(k-1)/2)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			results = append(results, pairResult{a: a, b: b})
+		}
+	}
+	par.For(len(results), workers, func(i int) {
+		r := &results[i]
+		pair, err := closestPair(cmap, clustering.Clusters[r.a], clustering.Clusters[r.b])
+		if err != nil {
+			r.err = fmt.Errorf("hfc: selecting border pair (%d,%d): %w", r.a, r.b, err)
+			return
+		}
+		r.primary = pair
+		r.backups = backupPairs(cmap, clustering.Clusters[r.a], clustering.Clusters[r.b], pair, MaxBackupBorders)
+	})
+
+	t := &Topology{
+		coords:               cmap,
+		clustering:           clustering,
+		borders:              make(map[[2]int]BorderPair),
+		backups:              make(map[[2]int][]BorderPair),
+		borderNodesByCluster: make(map[int][]int),
+	}
+	borderSet := make(map[int]bool)
+	backupSet := make(map[int]bool)
+	perCluster := make(map[int]map[int]bool)
+	t.borderInA = make([][]int, k)
+	for a := range t.borderInA {
+		t.borderInA[a] = make([]int, k)
+		for b := range t.borderInA[a] {
+			t.borderInA[a][b] = -1
+		}
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		a, b, pair := r.a, r.b, r.primary
+		if clustering.Assignment[pair.Low] != a || clustering.Assignment[pair.High] != b {
+			return nil, fmt.Errorf("hfc: selector returned pair (%d,%d) outside clusters (%d,%d)", pair.Low, pair.High, a, b)
+		}
+		t.borders[[2]int{a, b}] = pair
+		t.borderInA[a][b] = pair.Low
+		t.borderInA[b][a] = pair.High
+		if perCluster[a] == nil {
+			perCluster[a] = make(map[int]bool)
+		}
+		if perCluster[b] == nil {
+			perCluster[b] = make(map[int]bool)
+		}
+		borderSet[pair.Low] = true
+		borderSet[pair.High] = true
+		perCluster[a][pair.Low] = true
+		perCluster[b][pair.High] = true
+		t.backups[[2]int{a, b}] = r.backups
+		for _, bp := range r.backups {
+			backupSet[bp.Low] = true
+			backupSet[bp.High] = true
+		}
+	}
+	t.borderNodes = sortedKeys(borderSet)
+	t.backupNodes = sortedKeys(backupSet)
+	for c, set := range perCluster {
+		t.borderNodesByCluster[c] = sortedKeys(set)
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package hfc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+)
+
+// randomClusteredInstance generates n points in k well-separated blobs with
+// an explicit assignment — a quick way to make realistic Build inputs.
+func randomClusteredInstance(rng *rand.Rand, n, k int) (*coords.Map, *cluster.Result) {
+	pts := make([]coords.Point, n)
+	assignment := make([]int, n)
+	for i := range pts {
+		c := i % k
+		assignment[i] = c
+		pts[i] = coords.Point{
+			float64(c%4)*300 + rng.Float64()*40,
+			float64(c/4)*300 + rng.Float64()*40,
+		}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		panic(err)
+	}
+	return cmap, manualClustering(assignment)
+}
+
+// TestBuildParallelBitIdentical asserts the tentpole's hard gate: the
+// parallel border construction produces a topology deeply equal to the
+// serial Build for every worker count, across several instances.
+func TestBuildParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		n := 24 + rng.Intn(60)
+		k := 2 + rng.Intn(6)
+		cmap, clustering := randomClusteredInstance(rng, n, k)
+		want, err := Build(cmap, clustering)
+		if err != nil {
+			t.Fatalf("trial %d: Build: %v", trial, err)
+		}
+		for _, workers := range []int{1, 2, 4, -1} {
+			got, err := BuildParallel(cmap, clustering, workers)
+			if err != nil {
+				t.Fatalf("trial %d: BuildParallel(%d): %v", trial, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("trial %d: BuildParallel(workers=%d) differs from Build", trial, workers)
+			}
+		}
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	cmap, clustering := randomClusteredInstance(rand.New(rand.NewSource(1)), 12, 3)
+	if _, err := BuildParallel(nil, clustering, 2); err == nil {
+		t.Error("nil map accepted")
+	}
+	if _, err := BuildParallel(cmap, nil, 2); err == nil {
+		t.Error("nil clustering accepted")
+	}
+	short := manualClustering([]int{0, 0, 1})
+	if _, err := BuildParallel(cmap, short, 2); err == nil {
+		t.Error("mismatched clustering accepted")
+	}
+}

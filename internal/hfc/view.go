@@ -38,6 +38,16 @@ type NodeView struct {
 	// pair. Nil means every node is presumed live (the fault-free primary
 	// behaviour).
 	Alive func(node int) bool
+	// BorderOverride, when non-nil, is consulted before the view's own
+	// border table: it models the §5.2 re-distribution of incrementally
+	// re-elected border pairs (a Dynamic maintainer in the runtime). A
+	// false ok falls through to the static ranked pairs.
+	BorderOverride func(a, b int) (inA, inB int, ok bool)
+	// ResolveCoord, when non-nil, supplies coordinates for nodes outside
+	// the view's static entitlement — the Fig. 4 coordinate hand-off that
+	// accompanies a promoted border's announcement. Dist consults it only
+	// after Coords misses.
+	ResolveCoord func(node int) (coords.Point, bool)
 }
 
 // View materializes the Fig. 4 information for one node.
@@ -77,15 +87,29 @@ func (t *Topology) View(node int) (*NodeView, error) {
 // the view holds. It returns an error when the view lacks either node —
 // i.e., when routing code oversteps the node's legitimate knowledge.
 func (v *NodeView) Dist(u, w int) (float64, error) {
-	pu, ok := v.Coords[u]
-	if !ok {
-		return 0, fmt.Errorf("hfc: node %d's view has no coordinates for node %d", v.Node, u)
+	pu, err := v.coordOf(u)
+	if err != nil {
+		return 0, err
 	}
-	pw, ok := v.Coords[w]
-	if !ok {
-		return 0, fmt.Errorf("hfc: node %d's view has no coordinates for node %d", v.Node, w)
+	pw, err := v.coordOf(w)
+	if err != nil {
+		return 0, err
 	}
 	return coords.Dist(pu, pw), nil
+}
+
+// coordOf looks a node's coordinates up in the static view, falling back to
+// the ResolveCoord hand-off for promoted borders the view does not hold.
+func (v *NodeView) coordOf(u int) (coords.Point, error) {
+	if p, ok := v.Coords[u]; ok {
+		return p, nil
+	}
+	if v.ResolveCoord != nil {
+		if p, ok := v.ResolveCoord(u); ok {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("hfc: node %d's view has no coordinates for node %d", v.Node, u)
 }
 
 // Border returns the preferred live border pair between two distinct
@@ -95,6 +119,11 @@ func (v *NodeView) Dist(u, w int) (float64, error) {
 // endpoint the primary is returned so callers still compute a path (sends
 // to the crashed border surface as counted drops and RPC timeouts).
 func (v *NodeView) Border(a, b int) (inA, inB int, err error) {
+	if v.BorderOverride != nil && a != b {
+		if inA, inB, ok := v.BorderOverride(a, b); ok {
+			return inA, inB, nil
+		}
+	}
 	pairs, err := v.BorderRanked(a, b)
 	if err != nil {
 		return 0, 0, err

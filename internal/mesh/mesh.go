@@ -15,6 +15,7 @@ import (
 
 	"hfc/internal/coords"
 	"hfc/internal/graph"
+	"hfc/internal/par"
 )
 
 // Config controls mesh construction, mirroring §6.2's construction rule.
@@ -25,6 +26,10 @@ type Config struct {
 	// MinFar and MaxFar bound the per-proxy count of random long links
 	// (paper: 1–2).
 	MinFar, MaxFar int
+	// Workers bounds the pool used for the all-pairs routing tables
+	// (0/1 serial, negative = all cores). Link construction stays serial
+	// — it draws from rng — so the mesh is identical for any value.
+	Workers int
 }
 
 // DefaultConfig returns the paper's 1–4 nearest plus 1–2 random settings.
@@ -163,13 +168,17 @@ func Build(rng *rand.Rand, cmap *coords.Map, cfg Config) (*Mesh, error) {
 		}
 	}
 
+	// Routing tables: one rng-free Dijkstra per source, fanned out.
 	m := &Mesh{Graph: g, routes: make([]*graph.PathResult, n)}
-	for s := 0; s < n; s++ {
+	if err := par.ForErr(n, cfg.Workers, func(s int) error {
 		r, err := g.Dijkstra(s)
 		if err != nil {
-			return nil, fmt.Errorf("mesh: routing table for %d: %w", s, err)
+			return fmt.Errorf("mesh: routing table for %d: %w", s, err)
 		}
 		m.routes[s] = r
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

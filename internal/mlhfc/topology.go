@@ -24,6 +24,7 @@ import (
 	"hfc/internal/coords"
 	"hfc/internal/graph"
 	"hfc/internal/hfc"
+	"hfc/internal/par"
 )
 
 // Config selects the two clustering granularities.
@@ -41,6 +42,10 @@ type Config struct {
 	// embeddings often lack a crisp second distance scale, so operators
 	// pick the hierarchy fan-out — √(#clusters) balances the levels.
 	TargetGroups int
+	// Workers bounds the worker pool for the per-group interior builds and
+	// super-border scans (0/1 serial, negative = all cores). The topology
+	// is identical for any value.
+	Workers int
 }
 
 // DefaultConfig returns the granularities used by the experiments: the
@@ -116,7 +121,7 @@ func Build(cmap *coords.Map, cfg Config) (*Topology, error) {
 		assignment[node] = clusterGroup[c]
 	}
 	grouping := groupingFromAssignment(assignment)
-	return BuildFromGrouping(cmap, grouping, cfg.Inner)
+	return BuildFromGroupingWorkers(cmap, grouping, cfg.Inner, cfg.Workers)
 }
 
 // cutToTarget removes the longest MST edges over the n points until exactly
@@ -165,6 +170,15 @@ func groupingFromAssignment(assignment []int) *cluster.Result {
 // top-level grouping (used by tests and by callers with their own grouping
 // policy).
 func BuildFromGrouping(cmap *coords.Map, grouping *cluster.Result, inner cluster.Config) (*Topology, error) {
+	return BuildFromGroupingWorkers(cmap, grouping, inner, 1)
+}
+
+// BuildFromGroupingWorkers is BuildFromGrouping with the per-group interior
+// HFC constructions and the super-border scans fanned out across a bounded
+// worker pool. Each group's construction and each group pair's scan is
+// independent and rng-free, and results merge by index, so the topology is
+// bit-identical to the serial build for any worker count.
+func BuildFromGroupingWorkers(cmap *coords.Map, grouping *cluster.Result, inner cluster.Config, workers int) (*Topology, error) {
 	if cmap == nil {
 		return nil, errors.New("mlhfc: nil coordinate map")
 	}
@@ -188,29 +202,34 @@ func BuildFromGrouping(cmap *coords.Map, grouping *cluster.Result, inner cluster
 		}
 	}
 
-	// Interior bi-level HFC per group.
+	// Interior bi-level HFC per group, one worker slot per group.
 	t.perGroup = make([]*hfc.Topology, len(t.groups))
-	for g, members := range t.groups {
+	if err := par.ForErr(len(t.groups), workers, func(g int) error {
+		members := t.groups[g]
 		pts := make([]coords.Point, len(members))
 		for li, node := range members {
 			pts[li] = cmap.Points[node].Clone()
 		}
 		sub, err := coords.NewMap(pts)
 		if err != nil {
-			return nil, fmt.Errorf("mlhfc: group %d map: %w", g, err)
+			return fmt.Errorf("mlhfc: group %d map: %w", g, err)
 		}
 		clustering, err := cluster.Cluster(sub.N(), sub.Dist, inner)
 		if err != nil {
-			return nil, fmt.Errorf("mlhfc: group %d clustering: %w", g, err)
+			return fmt.Errorf("mlhfc: group %d clustering: %w", g, err)
 		}
 		topo, err := hfc.Build(sub, clustering)
 		if err != nil {
-			return nil, fmt.Errorf("mlhfc: group %d hfc: %w", g, err)
+			return fmt.Errorf("mlhfc: group %d hfc: %w", g, err)
 		}
 		t.perGroup[g] = topo
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	// Super-border pairs: closest cross pair per group pair.
+	// Super-border pairs: closest cross pair per group pair, each pair's
+	// scan in its own slot.
 	k := len(t.groups)
 	t.superBorder = make([][]int, k)
 	for a := range t.superBorder {
@@ -219,21 +238,27 @@ func BuildFromGrouping(cmap *coords.Map, grouping *cluster.Result, inner cluster
 			t.superBorder[a][b] = -1
 		}
 	}
+	type groupPair struct{ a, b int }
+	pairs := make([]groupPair, 0, k*(k-1)/2)
 	for a := 0; a < k; a++ {
 		for b := a + 1; b < k; b++ {
-			bestA, bestB, bestD := -1, -1, 0.0
-			for _, u := range t.groups[a] {
-				for _, v := range t.groups[b] {
-					d := cmap.Dist(u, v)
-					if bestA == -1 || d < bestD {
-						bestA, bestB, bestD = u, v, d
-					}
-				}
-			}
-			t.superBorder[a][b] = bestA
-			t.superBorder[b][a] = bestB
+			pairs = append(pairs, groupPair{a, b})
 		}
 	}
+	par.For(len(pairs), workers, func(i int) {
+		a, b := pairs[i].a, pairs[i].b
+		bestA, bestB, bestD := -1, -1, 0.0
+		for _, u := range t.groups[a] {
+			for _, v := range t.groups[b] {
+				d := cmap.Dist(u, v)
+				if bestA == -1 || d < bestD {
+					bestA, bestB, bestD = u, v, d
+				}
+			}
+		}
+		t.superBorder[a][b] = bestA
+		t.superBorder[b][a] = bestB
+	})
 	return t, nil
 }
 

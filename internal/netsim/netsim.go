@@ -23,6 +23,10 @@ type Network struct {
 	// noiseMax bounds the multiplicative measurement noise: a single probe
 	// observes latency · (1 + U[0, noiseMax]).
 	noiseMax float64
+	// workers bounds the worker pool the all-pairs precomputation fans
+	// out on (0/1 serial, negative = all cores); results are identical
+	// either way.
+	workers int
 	// bw caches shortest-path trees for Bottleneck queries.
 	bw bwState
 }
@@ -39,6 +43,13 @@ func WithNoise(max float64) Option {
 	return func(n *Network) { n.noiseMax = max }
 }
 
+// WithWorkers bounds the worker pool used for the up-front all-pairs
+// shortest-path computation (zero or one keeps it serial, negative uses
+// every core). The resulting delay matrix is bit-identical regardless.
+func WithWorkers(workers int) Option {
+	return func(n *Network) { n.workers = workers }
+}
+
 // New builds a delay oracle for topo by computing all-pairs shortest-path
 // delays once up front.
 func New(topo *topology.Topology, opts ...Option) (*Network, error) {
@@ -48,20 +59,21 @@ func New(topo *topology.Topology, opts ...Option) (*Network, error) {
 	if !topo.Graph.Connected() {
 		return nil, errors.New("netsim: topology is disconnected")
 	}
-	apsp, err := topo.Graph.AllPairsShortestPaths()
-	if err != nil {
-		return nil, fmt.Errorf("netsim: computing delays: %w", err)
-	}
-	// Clustering and MST construction treat latencies as a metric; make the
-	// matrix exactly symmetric (Dijkstra leaves ULP-level asymmetry).
-	apsp.Symmetrize()
-	n := &Network{topo: topo, apsp: apsp, noiseMax: 0.25}
+	n := &Network{topo: topo, noiseMax: 0.25}
 	for _, opt := range opts {
 		opt(n)
 	}
 	if n.noiseMax < 0 {
 		return nil, fmt.Errorf("netsim: negative noise bound %v", n.noiseMax)
 	}
+	apsp, err := topo.Graph.AllPairsShortestPathsWorkers(n.workers)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: computing delays: %w", err)
+	}
+	// Clustering and MST construction treat latencies as a metric; make the
+	// matrix exactly symmetric (Dijkstra leaves ULP-level asymmetry).
+	apsp.Symmetrize()
+	n.apsp = apsp
 	return n, nil
 }
 

@@ -19,6 +19,21 @@ func (s *System) Crash(id int) error {
 		return fmt.Errorf("overlay: node %d out of range [0,%d)", id, len(s.nodes))
 	}
 	s.crashed[id].Store(true)
+	// Incrementally re-elect the borders the crashed node served (§5.2):
+	// only its own cluster's pairs are touched.
+	s.dynMu.Lock()
+	var err error
+	if s.dyn.Present(id) {
+		err = s.dyn.Leave(id)
+	}
+	s.dynMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("overlay: crash of %d: %w", id, err)
+	}
+	// Cached routes through the node's cluster may cross the dead proxy.
+	if s.cache != nil {
+		s.cache.AdvanceRound(s.topo.ClusterOf(id))
+	}
 	return nil
 }
 
@@ -47,6 +62,20 @@ func (s *System) Recover(id int) error {
 		SeqC: n.state.SeqC,
 	}
 	n.st.Unlock()
+	// Restore the node into the live border elections before senders can
+	// see it alive, so border duty and view lookups are consistent.
+	s.dynMu.Lock()
+	var err error
+	if !s.dyn.Present(id) {
+		err = s.dyn.Rejoin(id)
+	}
+	s.dynMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("overlay: recover of %d: %w", id, err)
+	}
+	if s.cache != nil {
+		s.cache.AdvanceRound(s.topo.ClusterOf(id))
+	}
 	// Flip the flag last: once senders see the node live, its tables are
 	// already in the clean rejoin state.
 	s.crashed[id].Store(false)

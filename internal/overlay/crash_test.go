@@ -136,9 +136,11 @@ func TestChildRPCFailsOverToAlternateResolver(t *testing.T) {
 		t.Fatalf("Crash: %v", err)
 	}
 	// Simulate failure-detector lag at the destination: it still believes
-	// the crashed border is alive, so the child RPC must discover the
-	// failure the hard way — deadline misses, then alternate resolvers.
+	// the crashed border is alive (and has not heard the re-elected border
+	// either), so the child RPC must discover the failure the hard way —
+	// deadline misses, then alternate resolvers.
 	sys.nodes[dest].view.Alive = func(int) bool { return true }
+	sys.nodes[dest].view.BorderOverride = nil
 
 	sg, err := svc.Linear(unique)
 	if err != nil {

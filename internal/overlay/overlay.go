@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hfc/internal/coords"
 	"hfc/internal/hfc"
 	"hfc/internal/routing"
 	"hfc/internal/state"
@@ -64,6 +65,12 @@ type Config struct {
 	// RPCBackoff is the pause before the first retry, doubling on each
 	// further one. Default 5ms.
 	RPCBackoff time.Duration
+	// CacheRoutes enables the invalidation-aware route cache: Route
+	// answers repeated (source, service graph, destination) questions from
+	// cache until a state round, capability update, or crash/recovery in a
+	// cluster the cached path depends on invalidates the entry. Default
+	// off.
+	CacheRoutes bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +133,18 @@ type System struct {
 	// stamped with it so stale (delayed or replayed) floods are rejected
 	// by the per-entry sequence check.
 	round atomic.Uint64
+
+	// dynMu guards the incremental §5.2 border maintainer that every
+	// node view's BorderOverride consults: on crash/recovery only the
+	// affected cluster's border elections are redone, instead of
+	// rebuilding the whole topology.
+	dynMu sync.RWMutex
+	dyn   *hfc.Dynamic // guarded by dynMu
+
+	// cache, when non-nil (Config.CacheRoutes), answers repeated Route
+	// calls; it is internally synchronized, and cached results are shared
+	// read-only values.
+	cache *routing.RouteCache
 
 	// dropRng drives fault injection; the *rand.Rand pointer is immutable
 	// after New, but the generator's internal state is not concurrency-safe,
@@ -266,7 +285,12 @@ func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, err
 	if cfg.ProtocolDropRate < 0 || cfg.ProtocolDropRate > 1 {
 		return nil, fmt.Errorf("overlay: protocol drop rate %v outside [0,1]", cfg.ProtocolDropRate)
 	}
-	s := &System{topo: topo, caps: caps, cfg: cfg, accepting: true}
+	var cache *routing.RouteCache
+	if cfg.CacheRoutes {
+		cache = routing.NewRouteCache()
+	}
+	s := &System{topo: topo, caps: caps, cfg: cfg, accepting: true,
+		dyn: hfc.NewDynamic(topo), cache: cache}
 	if cfg.DropRate > 0 || cfg.ProtocolDropRate > 0 {
 		s.dropRng = rand.New(rand.NewSource(cfg.DropSeed))
 	}
@@ -282,6 +306,24 @@ func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, err
 		// skip nodes it reports dead. A deployment would plug a gossip or
 		// heartbeat detector in here.
 		view.Alive = func(id int) bool { return !s.IsCrashed(id) }
+		// Border lookups consult the incrementally maintained live
+		// elections first (§5.2): with no churn they return exactly the
+		// static primaries; after a crash they return the re-elected
+		// closest live pair for the affected cluster's links.
+		view.BorderOverride = func(a, b int) (int, int, bool) {
+			s.dynMu.RLock()
+			defer s.dynMu.RUnlock()
+			return s.dyn.Border(a, b)
+		}
+		// A re-elected border can fall outside the static view's
+		// coordinate entitlement; the promotion announcement carries the
+		// coordinates along (Fig. 4), modeled by this resolver.
+		view.ResolveCoord = func(id int) (coords.Point, bool) {
+			if id < 0 || id >= topo.N() {
+				return nil, false
+			}
+			return topo.Coords().Points[id].Clone(), true
+		}
 		// Every node knows its own cluster's aggregate of what it has seen
 		// so far (initially just itself).
 		s.nodes[i] = &node{
@@ -435,6 +477,11 @@ func (s *System) send(from, to int, m message) {
 // neither receive the trigger nor broadcast.
 func (s *System) TriggerStateRound() {
 	seq := s.round.Add(1)
+	// A full protocol round refreshes every cluster's state: all cached
+	// routes are stale against what nodes are about to learn.
+	if s.cache != nil {
+		s.cache.AdvanceAll()
+	}
 	for i := range s.nodes {
 		s.send(-1, i, message{kind: kindTrigger, trigger: true, seq: seq})
 	}
@@ -486,6 +533,11 @@ func (s *System) UpdateCapability(node int, set svc.CapabilitySet) error {
 	n.st.Lock()
 	n.state.SCTP[node] = set.Clone()
 	n.st.Unlock()
+	// Cached routes through this proxy's cluster may rely on the old
+	// deployment; invalidate them.
+	if s.cache != nil {
+		s.cache.AdvanceRound(s.topo.ClusterOf(node))
+	}
 	return nil
 }
 
@@ -527,6 +579,18 @@ func (s *System) Route(req svc.Request) (*routing.Result, error) {
 	if err := req.Validate(s.topo.N()); err != nil {
 		return nil, err
 	}
+	var key routing.CacheKey
+	var canonical string
+	var version uint64
+	if s.cache != nil {
+		canonical = req.SG.Canonical()
+		key = routing.NewCacheKey(req.Source, req.Dest, req.SG)
+		if v, ok := s.cache.Get(key, canonical); ok {
+			// Cached results are shared read-only values.
+			return v.(*routing.Result), nil
+		}
+		version = s.cache.Version()
+	}
 	backoff := s.cfg.RPCBackoff
 	for attempt := 0; ; attempt++ {
 		// A fresh reply channel per attempt: a late reply to an abandoned
@@ -538,6 +602,9 @@ func (s *System) Route(req svc.Request) (*routing.Result, error) {
 		select {
 		case out := <-reply:
 			timer.Stop()
+			if s.cache != nil && out.err == nil && out.result != nil {
+				s.cache.Put(key, canonical, out.result, s.routeClusters(out.result, req), version)
+			}
 			return out.result, out.err
 		case <-timer.C:
 		}
@@ -548,6 +615,32 @@ func (s *System) Route(req svc.Request) (*routing.Result, error) {
 		time.Sleep(backoff)
 		backoff *= 2
 	}
+}
+
+// routeClusters lists every cluster a resolved route depends on — the CSP's
+// provider clusters, the cluster of every hop proxy on the composed path,
+// and both endpoint clusters — so the cache entry goes stale exactly when
+// one of them advances. Duplicates are fine; the cache deduplicates.
+func (s *System) routeClusters(res *routing.Result, req svc.Request) []int {
+	out := []int{s.topo.ClusterOf(req.Source), s.topo.ClusterOf(req.Dest)}
+	for _, e := range res.CSP {
+		out = append(out, e.Cluster)
+	}
+	if res.Path != nil {
+		for _, h := range res.Path.Hops {
+			out = append(out, s.topo.ClusterOf(h.Node))
+		}
+	}
+	return out
+}
+
+// RouteCacheStats snapshots the route cache's counters; ok is false when
+// caching is disabled.
+func (s *System) RouteCacheStats() (stats routing.CacheStats, ok bool) {
+	if s.cache == nil {
+		return routing.CacheStats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 // StateOf snapshots a node's current routing state (deep copy).

@@ -1,0 +1,78 @@
+// Package par provides the bounded worker pool the parallel construction
+// paths share. The contract every caller relies on: work items are pure
+// functions of their index writing only to index-owned slots, so running
+// them on any number of workers in any order yields results bit-identical
+// to the serial loop. Randomness is never drawn inside a worker — callers
+// draw every rng value sequentially before fanning out (see
+// coords.BuildMapWorkers), which keeps detrand's determinism contract
+// intact.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob to an effective pool size:
+// negative selects runtime.GOMAXPROCS(0) (all available cores), zero and
+// one select the serial path, and any other positive value is taken
+// as-is.
+func Workers(workers int) int {
+	if workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		return 1
+	}
+	return workers
+}
+
+// For runs fn(0), …, fn(n-1) on a pool of Workers(workers) goroutines and
+// returns when all calls have completed. With an effective pool of one it
+// degenerates to the plain serial loop (no goroutines). Items are handed
+// out through an atomic counter, so the assignment of items to workers is
+// nondeterministic — fn must not care which worker runs it.
+func For(n, workers int, fn func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error collection: every item runs (a failing item
+// does not cancel the rest), and the error of the lowest-indexed failing
+// item is returned, so the reported error is deterministic regardless of
+// scheduling.
+func ForErr(n, workers int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(0); got != 1 {
+		t.Errorf("Workers(0) = %d, want 1", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, -1} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		For(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for n=0")
+	}
+}
+
+func TestForErrReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForErr(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("ForErr = %v, want lowest-indexed error %v", err, errA)
+	}
+	if err := ForErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Errorf("ForErr with no failures = %v", err)
+	}
+}

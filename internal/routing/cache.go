@@ -1,0 +1,176 @@
+package routing
+
+import (
+	"sync"
+
+	"hfc/internal/svc"
+)
+
+// CacheKey identifies a routed request: source proxy, destination proxy,
+// and the service graph's canonical fingerprint. Distinct graphs with the
+// same fingerprint are disambiguated inside the cache by the full canonical
+// string, so a (vanishingly unlikely) hash collision degrades to a miss,
+// never to a wrong route.
+type CacheKey struct {
+	Src, Dst int
+	SG       uint64
+}
+
+// NewCacheKey builds the key for a (source, service graph, destination)
+// routing question.
+func NewCacheKey(src, dst int, sg *svc.Graph) CacheKey {
+	return CacheKey{Src: src, Dst: dst, SG: sg.Fingerprint()}
+}
+
+// CacheStats counts cache outcomes.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes; a stale or collided entry is a
+	// miss. Invalidations counts stale entries evicted by Get; Stores
+	// counts Put calls that inserted or replaced an entry.
+	Hits, Misses, Invalidations, Stores int64
+}
+
+// stamp records the state round of one cluster at the time a route was
+// cached. The entry stays valid only while every stamped cluster remains at
+// its recorded round.
+type stamp struct {
+	cluster int
+	round   uint64
+}
+
+type cacheEntry struct {
+	// canonical guards against fingerprint collisions: the full canonical
+	// form of the service graph the value was computed for.
+	canonical string
+	value     any
+	stamps    []stamp
+}
+
+// RouteCache is an invalidation-aware cache of resolved routes keyed by
+// (source, service-graph fingerprint, destination). Entries carry the state
+// rounds of the clusters their path traverses; advancing a cluster's round
+// (capability change, membership churn) or the global round (a state
+// distribution sweep, §4) invalidates exactly the entries that depended on
+// it. Stale entries are evicted lazily on lookup.
+//
+// Cached values are shared between callers and must be treated as
+// read-only. The cache itself is safe for concurrent use.
+type RouteCache struct {
+	mu      sync.Mutex
+	entries map[CacheKey]*cacheEntry // guarded by mu
+	rounds  map[int]uint64           // guarded by mu
+	global  uint64                   // guarded by mu
+	// version counts every round advance; Put refuses to store a value
+	// computed before the latest advance (see Version).
+	version uint64     // guarded by mu
+	stats   CacheStats // guarded by mu
+}
+
+// NewRouteCache returns an empty cache at round zero everywhere.
+func NewRouteCache() *RouteCache {
+	return &RouteCache{
+		entries: make(map[CacheKey]*cacheEntry),
+		rounds:  make(map[int]uint64),
+	}
+}
+
+// effectiveRoundLocked is the invalidation clock of one cluster: its own
+// round plus the global epoch. Called with mu held.
+func (c *RouteCache) effectiveRoundLocked(cluster int) uint64 {
+	return c.rounds[cluster] + c.global
+}
+
+// Get returns the cached value for key, if one exists whose canonical form
+// matches and whose cluster stamps are all still current. Stale entries are
+// evicted and counted as invalidations; every non-hit is a miss.
+func (c *RouteCache) Get(key CacheKey, canonical string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	if e.canonical != canonical {
+		c.stats.Misses++
+		return nil, false
+	}
+	for _, s := range e.stamps {
+		if c.effectiveRoundLocked(s.cluster) != s.round {
+			delete(c.entries, key)
+			c.stats.Invalidations++
+			c.stats.Misses++
+			return nil, false
+		}
+	}
+	c.stats.Hits++
+	return e.value, true
+}
+
+// Version returns an opaque token identifying the cache's current
+// invalidation state. Capture it BEFORE computing a route and pass it to
+// Put: if any round advanced in between, the just-computed route may
+// already be stale, and Put discards it instead of stamping old data with
+// fresh rounds.
+func (c *RouteCache) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Put stores a resolved route under key, stamped with the current rounds of
+// the clusters the route depends on, unless the cache advanced past the
+// caller's version token since the computation began (then the value is
+// dropped — never cached stale). A later advance of any stamped cluster
+// makes the entry stale.
+func (c *RouteCache) Put(key CacheKey, canonical string, value any, clusters []int, version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version != c.version {
+		return
+	}
+	e := &cacheEntry{canonical: canonical, value: value, stamps: make([]stamp, 0, len(clusters))}
+	seen := make(map[int]bool, len(clusters))
+	for _, cl := range clusters {
+		if seen[cl] {
+			continue
+		}
+		seen[cl] = true
+		e.stamps = append(e.stamps, stamp{cluster: cl, round: c.effectiveRoundLocked(cl)})
+	}
+	c.entries[key] = e
+	c.stats.Stores++
+}
+
+// AdvanceRound bumps one cluster's state round, invalidating every cached
+// route stamped with that cluster.
+func (c *RouteCache) AdvanceRound(cluster int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rounds[cluster]++
+	c.version++
+}
+
+// AdvanceAll bumps the global epoch, invalidating every cached route (a
+// full state-distribution round touches every cluster).
+func (c *RouteCache) AdvanceAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.global++
+	c.version++
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *RouteCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of entries currently stored (stale entries not yet
+// evicted included).
+func (c *RouteCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,177 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hfc/internal/svc"
+)
+
+func testGraph(t *testing.T, names ...string) *svc.Graph {
+	t.Helper()
+	services := make([]svc.Service, len(names))
+	for i, n := range names {
+		services[i] = svc.Service(n)
+	}
+	g, err := svc.Linear(services...)
+	if err != nil {
+		t.Fatalf("Linear(%v): %v", names, err)
+	}
+	return g
+}
+
+func TestRouteCacheHitMissLifecycle(t *testing.T) {
+	c := NewRouteCache()
+	g := testGraph(t, "a", "b", "c")
+	key := NewCacheKey(1, 2, g)
+	canon := g.Canonical()
+
+	if _, ok := c.Get(key, canon); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	v := c.Version()
+	c.Put(key, canon, "route-1", []int{0, 3}, v)
+	got, ok := c.Get(key, canon)
+	if !ok || got != "route-1" {
+		t.Fatalf("Get = (%v, %v), want (route-1, true)", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 store", st)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestRouteCachePerClusterInvalidation(t *testing.T) {
+	c := NewRouteCache()
+	g := testGraph(t, "a", "b")
+	canon := g.Canonical()
+	kA := NewCacheKey(0, 1, g)
+	kB := NewCacheKey(2, 3, g)
+	v := c.Version()
+	c.Put(kA, canon, "through-0", []int{0}, v)
+	c.Put(kB, canon, "through-5", []int{5}, v)
+
+	c.AdvanceRound(0)
+	if _, ok := c.Get(kA, canon); ok {
+		t.Error("route stamped with cluster 0 survived AdvanceRound(0)")
+	}
+	if _, ok := c.Get(kB, canon); !ok {
+		t.Error("route through an untouched cluster was invalidated")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", st.Invalidations)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after lazy eviction, want 1", c.Len())
+	}
+}
+
+func TestRouteCacheAdvanceAllInvalidatesEverything(t *testing.T) {
+	c := NewRouteCache()
+	g := testGraph(t, "a")
+	canon := g.Canonical()
+	for i := 0; i < 4; i++ {
+		c.Put(NewCacheKey(i, i+1, g), canon, i, []int{i}, c.Version())
+	}
+	c.AdvanceAll()
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Get(NewCacheKey(i, i+1, g), canon); ok {
+			t.Errorf("entry %d survived AdvanceAll", i)
+		}
+	}
+}
+
+// TestRouteCacheStaleVersionPutDropped is the race guard: a route computed
+// BEFORE an invalidation must not be stored AFTER it, or a stale path would
+// be stamped with fresh rounds and served forever.
+func TestRouteCacheStaleVersionPutDropped(t *testing.T) {
+	c := NewRouteCache()
+	g := testGraph(t, "a", "b")
+	key := NewCacheKey(0, 1, g)
+	canon := g.Canonical()
+
+	v := c.Version() // route computation starts here...
+	c.AdvanceRound(2)
+	c.Put(key, canon, "stale", []int{2}, v) // ...and finishes after the bump
+	if _, ok := c.Get(key, canon); ok {
+		t.Fatal("stale-version Put was stored")
+	}
+	if st := c.Stats(); st.Stores != 0 {
+		t.Errorf("Stores = %d, want 0 (dropped)", st.Stores)
+	}
+
+	// A recapture after the advance is current again and must store.
+	c.Put(key, canon, "fresh", []int{2}, c.Version())
+	if got, ok := c.Get(key, canon); !ok || got != "fresh" {
+		t.Fatalf("Get = (%v, %v) after fresh Put, want (fresh, true)", got, ok)
+	}
+}
+
+// TestRouteCacheCollisionGuard forces two graphs under one key (same
+// fingerprint slot) and checks the canonical string demotes the mismatch to
+// a miss rather than returning the wrong route.
+func TestRouteCacheCollisionGuard(t *testing.T) {
+	c := NewRouteCache()
+	g1 := testGraph(t, "a", "b")
+	g2 := testGraph(t, "a", "c")
+	key := NewCacheKey(0, 1, g1) // pretend g2 collided into g1's key
+	c.Put(key, g1.Canonical(), "g1-route", nil, c.Version())
+	if _, ok := c.Get(key, g2.Canonical()); ok {
+		t.Fatal("canonical mismatch returned a cached route")
+	}
+	if got, ok := c.Get(key, g1.Canonical()); !ok || got != "g1-route" {
+		t.Fatalf("matching canonical Get = (%v, %v), want (g1-route, true)", got, ok)
+	}
+}
+
+func TestRouteCacheDedupesStampClusters(t *testing.T) {
+	c := NewRouteCache()
+	g := testGraph(t, "a", "b")
+	key := NewCacheKey(0, 1, g)
+	canon := g.Canonical()
+	c.Put(key, canon, "r", []int{1, 1, 2, 1, 2}, c.Version())
+	c.mu.Lock()
+	stamps := len(c.entries[key].stamps)
+	c.mu.Unlock()
+	if stamps != 2 {
+		t.Errorf("stored %d stamps for clusters {1,2}, want 2", stamps)
+	}
+}
+
+func TestRouteCacheConcurrentAccess(t *testing.T) {
+	c := NewRouteCache()
+	g := testGraph(t, "a", "b", "c")
+	canon := g.Canonical()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := NewCacheKey(i%16, (i+1)%16, g)
+				switch i % 4 {
+				case 0:
+					c.Put(key, canon, fmt.Sprintf("r%d", i), []int{i % 3}, c.Version())
+				case 1:
+					c.Get(key, canon)
+				case 2:
+					c.AdvanceRound(i % 3)
+				default:
+					c.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.AdvanceAll()
+	for i := 0; i < 16; i++ {
+		if _, ok := c.Get(NewCacheKey(i, (i+1)%16, g), canon); ok {
+			t.Fatal("entry survived AdvanceAll after concurrent churn")
+		}
+	}
+}

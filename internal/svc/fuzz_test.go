@@ -1,0 +1,61 @@
+package svc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzServiceGraphParse throws arbitrary strings at ParseGraph. Accepted
+// inputs must yield a graph that validates, has consistent vertex/edge
+// tables, canonicalizes injectively, and whose String form re-parses to a
+// fixed point.
+func FuzzServiceGraphParse(f *testing.F) {
+	f.Add("a->b->c, a->c")
+	f.Add("a,b,c")
+	f.Add("x->y, z->y, x->z")
+	f.Add("a->a")
+	f.Add(" spaced -> names , more ")
+	f.Add("a->b,b->a")
+	f.Add(",,,")
+	f.Add("->")
+	f.Fuzz(func(t *testing.T, s string) {
+		// Guard against pathological blowup: the parser is O(len(s)) but the
+		// Validate Kahn pass is quadratic-ish in vertices; inputs this long
+		// are not interesting.
+		if len(s) > 4096 {
+			t.Skip()
+		}
+		g, err := ParseGraph(s)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ParseGraph(%q) returned an invalid graph: %v", s, verr)
+		}
+		n := len(g.Services)
+		for _, e := range g.Edges {
+			if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+				t.Fatalf("edge %v out of range for %d services", e, n)
+			}
+		}
+		for _, name := range g.Services {
+			if strings.TrimSpace(string(name)) != string(name) || name == "" {
+				t.Fatalf("unnormalized service name %q survived parsing", name)
+			}
+		}
+		// String → parse → String is a fixed point.
+		s1 := g.String()
+		g2, err := ParseGraph(s1)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", s1, s, err)
+		}
+		if s2 := g2.String(); s2 != s1 {
+			t.Fatalf("String not a fixed point: %q -> %q (input %q)", s1, s2, s)
+		}
+		// Canonical forms agree iff the graphs agree; a graph and its
+		// re-parse may differ only by isolated vertices String drops.
+		if g.Canonical() == g2.Canonical() && g.Fingerprint() != g2.Fingerprint() {
+			t.Fatal("equal canonical forms with different fingerprints")
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package svc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Canonical renders the graph in a collision-free canonical form: every
+// vertex label length-prefixed in vertex order, then every edge as an index
+// pair. Unlike String (a display format that drops isolated vertices when
+// edges exist), two graphs share a Canonical form iff they have identical
+// vertex and edge lists, which is what cache keys need.
+func (g *Graph) Canonical() string {
+	var b strings.Builder
+	for _, s := range g.Services {
+		fmt.Fprintf(&b, "%d:%s;", len(s), s)
+	}
+	b.WriteByte('|')
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "%d>%d;", e[0], e[1])
+	}
+	return b.String()
+}
+
+// Fingerprint hashes the canonical form (FNV-1a, 64-bit) into a compact
+// cache-key component. Collisions are possible in principle; consumers must
+// fall back to comparing Canonical strings before trusting a match.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	//hfcvet:ignore errsweep fnv hash Write never returns an error
+	h.Write([]byte(g.Canonical()))
+	return h.Sum64()
+}
+
+// ParseGraph parses the String rendering of a service graph back into a
+// Graph: comma-separated tokens, each either a single service name or an
+// "a->b->c" dependency chain. Vertices are numbered by first occurrence;
+// duplicate edges collapse. The result is validated, so cycles, empty names
+// and other structural faults fail here rather than later.
+//
+//	"a->b, a->c"  two edges out of a
+//	"a"           single isolated service
+//	"a,b"         two isolated services (only when no edges appear at all)
+func ParseGraph(s string) (*Graph, error) {
+	g := &Graph{}
+	index := make(map[Service]int)
+	vertex := func(name string) (int, error) {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return 0, fmt.Errorf("svc: empty service name in %q", s)
+		}
+		sv := Service(name)
+		if i, ok := index[sv]; ok {
+			return i, nil
+		}
+		i := len(g.Services)
+		index[sv] = i
+		g.Services = append(g.Services, sv)
+		return i, nil
+	}
+	seenEdge := make(map[[2]int]bool)
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return nil, fmt.Errorf("svc: empty token in %q", s)
+		}
+		parts := strings.Split(tok, "->")
+		prev := -1
+		for _, p := range parts {
+			v, err := vertex(p)
+			if err != nil {
+				return nil, err
+			}
+			if prev != -1 {
+				e := [2]int{prev, v}
+				if !seenEdge[e] {
+					seenEdge[e] = true
+					g.Edges = append(g.Edges, e)
+				}
+			}
+			prev = v
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

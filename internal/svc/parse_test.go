@@ -1,0 +1,101 @@
+package svc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseGraphChainsAndBranches(t *testing.T) {
+	g, err := ParseGraph("a->b->c, a->c")
+	if err != nil {
+		t.Fatalf("ParseGraph: %v", err)
+	}
+	if want := []Service{"a", "b", "c"}; !reflect.DeepEqual(g.Services, want) {
+		t.Errorf("Services = %v, want %v", g.Services, want)
+	}
+	if want := [][2]int{{0, 1}, {1, 2}, {0, 2}}; !reflect.DeepEqual(g.Edges, want) {
+		t.Errorf("Edges = %v, want %v", g.Edges, want)
+	}
+}
+
+func TestParseGraphIsolatedAndDuplicates(t *testing.T) {
+	g, err := ParseGraph(" a , b ")
+	if err != nil {
+		t.Fatalf("ParseGraph: %v", err)
+	}
+	if len(g.Services) != 2 || len(g.Edges) != 0 {
+		t.Errorf("got %v / %v, want 2 isolated services", g.Services, g.Edges)
+	}
+	// Duplicate edges collapse.
+	g, err = ParseGraph("a->b, a->b")
+	if err != nil {
+		t.Fatalf("ParseGraph: %v", err)
+	}
+	if len(g.Edges) != 1 {
+		t.Errorf("duplicate edge not collapsed: %v", g.Edges)
+	}
+}
+
+func TestParseGraphRejectsStructuralFaults(t *testing.T) {
+	for _, bad := range []string{
+		"",           // empty
+		"a,,b",       // empty token
+		"a-> ->b",    // empty name in chain
+		"a->a",       // self-loop
+		"a->b, b->a", // cycle
+		"a->b->c->a", // longer cycle
+	} {
+		if _, err := ParseGraph(bad); err == nil {
+			t.Errorf("ParseGraph(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseGraphRoundTripsString(t *testing.T) {
+	for _, src := range []string{"a", "a,b,c", "a->b", "a->b->c, a->c", "x->y, z->y"} {
+		g, err := ParseGraph(src)
+		if err != nil {
+			t.Fatalf("ParseGraph(%q): %v", src, err)
+		}
+		back, err := ParseGraph(g.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", g.String(), err)
+		}
+		if back.String() != g.String() {
+			t.Errorf("String round trip of %q: %q != %q", src, back.String(), g.String())
+		}
+	}
+}
+
+func TestCanonicalDistinguishesWhatStringConflates(t *testing.T) {
+	withIsolated := &Graph{Services: []Service{"a", "b", "c"}, Edges: [][2]int{{0, 1}}}
+	plain := &Graph{Services: []Service{"a", "b"}, Edges: [][2]int{{0, 1}}}
+	if withIsolated.String() != plain.String() {
+		t.Fatalf("precondition: String forms differ (%q vs %q)", withIsolated.String(), plain.String())
+	}
+	if withIsolated.Canonical() == plain.Canonical() {
+		t.Error("Canonical conflates graphs with different vertex sets")
+	}
+	if withIsolated.Fingerprint() == plain.Fingerprint() {
+		t.Error("Fingerprint conflates graphs with different vertex sets")
+	}
+}
+
+func TestCanonicalIsInjectiveOnDelimiters(t *testing.T) {
+	// Length prefixes keep names containing the delimiters unambiguous.
+	a := &Graph{Services: []Service{"x;", "y"}}
+	b := &Graph{Services: []Service{"x", ";y"}}
+	if a.Canonical() == b.Canonical() {
+		t.Error("delimiter-bearing names collide in canonical form")
+	}
+}
+
+func TestFingerprintStableAcrossCalls(t *testing.T) {
+	g, err := ParseGraph("a->b->c")
+	if err != nil {
+		t.Fatalf("ParseGraph: %v", err)
+	}
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Error("Fingerprint not deterministic")
+	}
+}
