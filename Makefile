@@ -6,7 +6,7 @@ GO ?= go
 .PHONY: all build test race lint bench bench-full bench-compare fmt
 
 # Output snapshot for the regression-gate benchmarks (see cmd/benchgate).
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
 
 all: build test lint
 

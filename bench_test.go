@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hfc/internal/cluster"
@@ -196,6 +197,120 @@ func BenchmarkGateFullRebuildMaintenance(b *testing.B) {
 			b.Fatalf("Rebuild: %v", err)
 		}
 	}
+}
+
+// BenchmarkGateFindPathFlat measures the flat §5.2 algorithm with its pooled
+// scratch arena on a mesh oracle. benchgate records allocs/op (-benchmem),
+// so growing the per-resolution allocation count past 20% fails the gate.
+func BenchmarkGateFindPathFlat(b *testing.B) {
+	e := cachedEnv(b, gateSpec())
+	provs := routing.CapabilityProviders(e.Framework.Capabilities())
+	oracle := routing.OracleFunc(e.Mesh.Dist)
+	exp := routing.ExpanderFunc(e.Mesh.Path)
+	reqs := make([]svc.Request, 64)
+	for i := range reqs {
+		r, err := e.NextRequest()
+		if err != nil {
+			b.Fatalf("NextRequest: %v", err)
+		}
+		reqs[i] = r
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.FindPathFiltered(reqs[i%len(reqs)], provs, oracle, exp, nil); err != nil {
+			b.Fatalf("FindPathFiltered: %v", err)
+		}
+	}
+}
+
+// BenchmarkGateSolveChildIndexed measures an intra-cluster child resolution
+// through the inverted provider index — the serve-engine configuration of
+// LocalIntraSolver. The alloc gate proves the per-service provider lookup
+// stays a map access, not a member scan with a per-call closure.
+func BenchmarkGateSolveChildIndexed(b *testing.B) {
+	e := cachedEnv(b, gateSpec())
+	topo := e.Framework.Topology()
+	states := e.Framework.States()
+	caps := e.Framework.Capabilities()
+	idx := routing.NewLazyIndexes(states, func(n int) []int {
+		return topo.Members(topo.ClusterOf(n))
+	}, nil)
+	solver := &routing.LocalIntraSolver{Topo: topo, States: states, Indexes: idx}
+
+	// A child request inside cluster 0 for a service one of its members
+	// provides.
+	members := topo.Members(0)
+	child := routing.ChildRequest{
+		Cluster:  0,
+		Source:   members[0],
+		Dest:     members[len(members)-1],
+		Resolver: members[0],
+	}
+	for _, m := range members {
+		for s := range caps[m] {
+			child.Services = []svc.Service{s}
+			break
+		}
+		if child.Services != nil {
+			break
+		}
+	}
+	if child.Services == nil {
+		b.Fatal("no provider in cluster 0")
+	}
+	idx.For(child.Resolver) // build outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.SolveChild(child); err != nil {
+			b.Fatalf("SolveChild: %v", err)
+		}
+	}
+}
+
+// BenchmarkGateServeThroughput measures steady-state concurrent serving
+// through serve.Engine: a warmed request pool resolved from every GOMAXPROCS
+// goroutine at once (run with -cpu 1,4,8 to see the scaling; the sharded
+// cache keeps the hit path contention-free).
+func BenchmarkGateServeThroughput(b *testing.B) {
+	spec := gateSpec()
+	spec.ServeEngine = true
+	e := cachedEnv(b, spec)
+	eng := e.Framework.Engine()
+	if eng == nil {
+		b.Fatal("framework has no serving engine")
+	}
+	reqs := make([]svc.Request, 256)
+	for i := range reqs {
+		r, err := e.NextRequest()
+		if err != nil {
+			b.Fatalf("NextRequest: %v", err)
+		}
+		reqs[i] = r
+	}
+	// Warm pass: fill the cache so the timed region measures serving, not
+	// first-touch computation.
+	for _, r := range reqs {
+		if _, err := eng.Resolve(r); err != nil {
+			b.Fatalf("warm Resolve: %v", err)
+		}
+	}
+	var goroutines atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// A per-goroutine offset with a large prime stride spreads the pool
+		// across cache shards without a shared counter.
+		i := int(goroutines.Add(1)) * 7919
+		for pb.Next() {
+			if _, err := eng.Resolve(reqs[i%len(reqs)]); err != nil {
+				b.Errorf("Resolve: %v", err)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkTable1EnvBuild regenerates Table 1: the cost of building each

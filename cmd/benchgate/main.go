@@ -4,10 +4,13 @@
 //	benchgate -write BENCH_pr3.json          # run the gates, snapshot ns/op
 //	benchgate -compare old.json,new.json     # fail on >threshold regressions
 //
-// Snapshots keep the MINIMUM ns/op over -count runs per benchmark — the
-// least-noisy estimator of the true cost on a shared machine. Compare mode
-// exits non-zero if any benchmark present in the old snapshot regressed by
-// more than -threshold (default 20%), or disappeared.
+// Snapshots keep the MINIMUM ns/op and allocs/op over -count runs per
+// benchmark — the least-noisy estimator of the true cost on a shared
+// machine (benchmarks run under -benchmem). Compare mode exits non-zero if
+// any benchmark present in the old snapshot regressed by more than
+// -threshold (default 20%) in ns/op or allocs/op, or disappeared. Old
+// snapshots without alloc data compare on ns/op only, so the format is
+// backward compatible.
 package main
 
 import (
@@ -21,11 +24,16 @@ import (
 	"strings"
 )
 
-// Snapshot is the on-disk format: benchmark name → best ns/op.
+// Snapshot is the on-disk format: benchmark name → best ns/op and
+// allocs/op.
 type Snapshot struct {
 	// Benchmarks maps the bare benchmark name (no -GOMAXPROCS suffix) to
 	// its minimum observed ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Allocs maps the benchmark name to its minimum observed allocs/op.
+	// Absent in snapshots taken before alloc gating; such entries compare
+	// on ns/op only.
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 }
 
 func main() {
@@ -70,6 +78,7 @@ func runWrite(path, benchRE, benchtime string, count int, pkg string) error {
 	args := []string{
 		"test", "-run", "^$",
 		"-bench", benchRE,
+		"-benchmem",
 		"-benchtime", benchtime,
 		"-count", strconv.Itoa(count),
 		pkg,
@@ -98,20 +107,23 @@ func runWrite(path, benchRE, benchtime string, count int, pkg string) error {
 	names := sortedNames(snap)
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(names))
 	for _, n := range names {
-		fmt.Printf("  %-44s %14.0f ns/op\n", n, snap.Benchmarks[n])
+		fmt.Printf("  %-44s %14.0f ns/op %10.0f allocs/op\n", n, snap.Benchmarks[n], snap.Allocs[n])
 	}
 	return nil
 }
 
-// parseBenchOutput extracts per-benchmark minimum ns/op from `go test
-// -bench` output lines such as:
+// parseBenchOutput extracts per-benchmark minimum ns/op and allocs/op from
+// `go test -bench -benchmem` output lines such as:
 //
-//	BenchmarkGateRouteResolve-8    50    158831 ns/op    1234 B/op
+//	BenchmarkGateRouteResolve-8    50    158831 ns/op    1234 B/op    37 allocs/op
 //
 // The -N GOMAXPROCS suffix is stripped so snapshots from machines with
 // different core counts stay comparable by name.
 func parseBenchOutput(out string) (*Snapshot, error) {
-	snap := &Snapshot{Benchmarks: make(map[string]float64)}
+	snap := &Snapshot{
+		Benchmarks: make(map[string]float64),
+		Allocs:     make(map[string]float64),
+	}
 	for _, line := range strings.Split(out, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -123,23 +135,34 @@ func parseBenchOutput(out string) (*Snapshot, error) {
 				name = name[:i]
 			}
 		}
-		var ns float64
-		found := false
+		var ns, allocs float64
+		foundNS, foundAllocs := false, false
 		for i := 2; i < len(fields); i++ {
-			if fields[i] == "ns/op" {
+			switch fields[i] {
+			case "ns/op":
 				v, err := strconv.ParseFloat(fields[i-1], 64)
 				if err != nil {
 					return nil, fmt.Errorf("bad ns/op on line %q: %w", line, err)
 				}
-				ns, found = v, true
-				break
+				ns, foundNS = v, true
+			case "allocs/op":
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op on line %q: %w", line, err)
+				}
+				allocs, foundAllocs = v, true
 			}
 		}
-		if !found {
+		if !foundNS {
 			continue
 		}
 		if prev, ok := snap.Benchmarks[name]; !ok || ns < prev {
 			snap.Benchmarks[name] = ns
+		}
+		if foundAllocs {
+			if prev, ok := snap.Allocs[name]; !ok || allocs < prev {
+				snap.Allocs[name] = allocs
+			}
 		}
 	}
 	return snap, nil
@@ -184,6 +207,22 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, oldNS, newNS, (ratio-1)*100))
 		}
 		fmt.Printf("  %-44s %14.0f -> %14.0f ns/op  %+7.1f%%  %s\n", name, oldNS, newNS, (ratio-1)*100, status)
+
+		// Alloc gating only applies when the old snapshot recorded allocs
+		// for this benchmark (snapshots predating -benchmem have none).
+		oldAllocs, haveOld := oldSnap.Allocs[name]
+		newAllocs, haveNew := newSnap.Allocs[name]
+		if !haveOld {
+			continue
+		}
+		if !haveNew {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op missing from %s", name, newPath))
+			continue
+		}
+		if newAllocs > oldAllocs*(1+threshold) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f allocs/op", name, oldAllocs, newAllocs))
+			fmt.Printf("  %-44s %14.0f -> %14.0f allocs/op          REGRESSED\n", name, oldAllocs, newAllocs)
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed past %.0f%%:\n  %s",

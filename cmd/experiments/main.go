@@ -9,14 +9,19 @@
 //	experiments -run ablation-k,ablation-relax
 //
 // Runs: table1, fig9a, fig9b, fig10, messages, qos, multilevel,
-// convergence, faults, ablation-k, ablation-dim, ablation-relax,
+// convergence, faults, serve, ablation-k, ablation-dim, ablation-relax,
 // ablation-border, ablation-landmarks, ablation-churn.
+//
+// -cpuprofile/-memprofile write runtime/pprof profiles, flushed on clean
+// shutdown.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,14 +37,49 @@ func main() {
 }
 
 func run() error {
-	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
+	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, serve, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	full := flag.Bool("full", false, "paper-scale sample sizes (5 trials, 1000 requests; takes minutes)")
 	trials := flag.Int("trials", 0, "override trial count")
 	requests := flag.Int("requests", 0, "override request count")
 	parallel := flag.Int("parallel", 0, "worker pool for environment builds (0/1 serial, -1 all cores; results are bit-identical)")
 	routeCache := flag.Bool("route-cache", false, "enable the invalidation-aware route cache in built frameworks")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean shutdown")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", cerr)
+			}
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	nTrials, nRequests := 2, 200
 	if *full {
@@ -241,6 +281,25 @@ func run() error {
 				return err
 			}
 			fmt.Print(experiments.FormatBorderFailover(frows))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if section("serve") {
+		if err := timed("serve", func() error {
+			spec := env.SmallSpec(*seed)
+			spec.Proxies = 150
+			spec.Workers = *parallel
+			n := nRequests
+			if n > 500 {
+				n = 500
+			}
+			rows, err := experiments.RunServe(spec, n, []int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatServe(rows))
 			return nil
 		}); err != nil {
 			return err

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"hfc/internal/env"
@@ -33,7 +35,42 @@ func run() error {
 	rounds := flag.Int("rounds", 3, "state protocol rounds before routing")
 	seed := flag.Int64("seed", 1, "random seed")
 	delay := flag.Duration("delay", 0, "simulated wall-clock delay per embedded distance unit (e.g. 10us)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean shutdown")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "overlaysim: cpuprofile:", cerr)
+			}
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "overlaysim: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "overlaysim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "overlaysim: memprofile:", err)
+			}
+		}()
+	}
 
 	spec := env.SmallSpec(*seed)
 	spec.Proxies = *proxies

@@ -22,6 +22,7 @@ import (
 	"hfc/internal/hfc"
 	"hfc/internal/par"
 	"hfc/internal/routing"
+	"hfc/internal/serve"
 	"hfc/internal/state"
 	"hfc/internal/svc"
 )
@@ -48,6 +49,15 @@ type Config struct {
 	// Framework. Bootstrap's states are static, so entries never go stale;
 	// repeated requests are answered from cache. Default off.
 	CacheRoutes bool
+	// ServeEngine attaches a concurrent route-serving engine
+	// (internal/serve) to the Framework: Route answers through its sharded
+	// cache, inverted provider indexes, and in-flight deduplication, and
+	// Engine() exposes it for batched resolution and capability updates.
+	// Supersedes CacheRoutes (the engine always caches). Default off.
+	ServeEngine bool
+	// CacheShards overrides the serving engine's route-cache shard count
+	// (0 selects routing.DefaultCacheShards). Ignored without ServeEngine.
+	CacheShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +85,9 @@ type Framework struct {
 	// states are immutable, so entries never need invalidating. Internally
 	// synchronized; cached results are shared read-only values.
 	cache *routing.RouteCache
+	// engine, when non-nil (Config.ServeEngine), serves every route: it
+	// owns its own state copy, cache, and provider indexes.
+	engine *serve.Engine
 }
 
 // Bootstrap builds the framework. m is the measurement substrate (the
@@ -122,7 +135,7 @@ func Bootstrap(rng *rand.Rand, m coords.Measurer, landmarks, proxies []int, caps
 	if cfg.CacheRoutes {
 		cache = routing.NewRouteCache()
 	}
-	return &Framework{
+	fw := &Framework{
 		topo:      topo,
 		caps:      capsCopy,
 		states:    states,
@@ -130,7 +143,19 @@ func Bootstrap(rng *rand.Rand, m coords.Measurer, landmarks, proxies []int, caps
 		relax:     cfg.Relax,
 		landmarks: lmPoints,
 		cache:     cache,
-	}, nil
+	}
+	if cfg.ServeEngine {
+		eng, err := serve.NewEngine(topo, capsCopy, states, serve.Config{
+			CacheShards: cfg.CacheShards,
+			Relax:       cfg.Relax,
+			Workers:     cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: serve engine: %w", err)
+		}
+		fw.engine = eng
+	}
+	return fw, nil
 }
 
 // Route answers a service request (overlay-index endpoints) with the
@@ -147,6 +172,9 @@ func (f *Framework) Route(req svc.Request) (*routing.Path, error) {
 // RouteDetailed returns the full routing result, including the CSP and
 // child requests (the Fig. 7 intermediate artifacts).
 func (f *Framework) RouteDetailed(req svc.Request) (*routing.Result, error) {
+	if f.engine != nil {
+		return f.engine.ResolveDetailed(req)
+	}
 	if err := req.Validate(f.topo.N()); err != nil {
 		return nil, err
 	}
@@ -155,7 +183,7 @@ func (f *Framework) RouteDetailed(req svc.Request) (*routing.Result, error) {
 	var version uint64
 	if f.cache != nil {
 		canonical = req.SG.Canonical()
-		key = routing.NewCacheKey(req.Source, req.Dest, req.SG)
+		key = routing.NewCacheKeyCanonical(req.Source, req.Dest, canonical)
 		if v, ok := f.cache.Get(key, canonical); ok {
 			return v.(*routing.Result), nil
 		}
@@ -175,11 +203,18 @@ func (f *Framework) RouteDetailed(req svc.Request) (*routing.Result, error) {
 // RouteCacheStats snapshots the route cache's counters; ok is false when
 // caching is disabled.
 func (f *Framework) RouteCacheStats() (stats routing.CacheStats, ok bool) {
+	if f.engine != nil {
+		return f.engine.Stats().Cache, true
+	}
 	if f.cache == nil {
 		return routing.CacheStats{}, false
 	}
 	return f.cache.Stats(), true
 }
+
+// Engine returns the concurrent serving engine, or nil when
+// Config.ServeEngine was off.
+func (f *Framework) Engine() *serve.Engine { return f.engine }
 
 // Topology exposes the constructed HFC topology.
 func (f *Framework) Topology() *hfc.Topology { return f.topo }

@@ -56,6 +56,12 @@ type Spec struct {
 	// CacheRoutes enables the framework's route cache (repeated requests
 	// answered from memory; safe because the bootstrapped state is static).
 	CacheRoutes bool
+	// ServeEngine attaches the concurrent route-serving engine
+	// (internal/serve) to the built framework; see core.Config.ServeEngine.
+	ServeEngine bool
+	// CacheShards overrides the serving engine's cache shard count (0 =
+	// default).
+	CacheShards int
 	// Seed drives all randomness in the build.
 	Seed int64
 }
@@ -211,6 +217,8 @@ func Build(spec Spec) (*Environment, error) {
 		Probes:      spec.Probes,
 		Workers:     spec.Workers,
 		CacheRoutes: spec.CacheRoutes,
+		ServeEngine: spec.ServeEngine,
+		CacheShards: spec.CacheShards,
 	}
 	if spec.InconsistencyK != 0 {
 		coreCfg.Cluster.InconsistencyFactor = spec.InconsistencyK

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"hfc/internal/env"
+	"hfc/internal/svc"
+)
+
+// ServeRow is one worker-count setting of the serving-throughput
+// experiment: the same request stream resolved through the concurrent
+// serving engine at a given fan-out.
+type ServeRow struct {
+	// Workers is the resolution fan-out (1 = serial baseline).
+	Workers int
+	// Requests is the number of resolutions performed (cold + warm pass).
+	Requests int
+	// OpsPerSec is the end-to-end resolution throughput.
+	OpsPerSec float64
+	// Speedup is OpsPerSec relative to the first row of the sweep (pass
+	// workers=1 first for a serial baseline).
+	Speedup float64
+	// HitRate is the route-cache hit fraction over the run.
+	HitRate float64
+	// Deduped counts resolutions answered by joining an in-flight
+	// computation.
+	Deduped int64
+}
+
+// RunServe measures the serving engine's request throughput at several
+// worker counts. Each run resolves the same stream — a cold pass over
+// distinct requests followed by repeat passes that exercise the cache — on
+// a fresh engine, so rows are comparable. Routing results are identical
+// across worker counts; only the timing differs.
+func RunServe(spec env.Spec, requests int, workerCounts []int) ([]ServeRow, error) {
+	if requests < 1 {
+		return nil, errors.New("experiments: need at least 1 request")
+	}
+	if len(workerCounts) == 0 {
+		return nil, errors.New("experiments: empty worker sweep")
+	}
+	spec.ServeEngine = true
+	e, err := env.Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: serve: %w", err)
+	}
+	reqs := make([]svc.Request, requests)
+	for i := range reqs {
+		if reqs[i], err = e.NextRequest(); err != nil {
+			return nil, err
+		}
+	}
+	// Three passes over the stream: one cold, two warm (cache + dedup).
+	stream := make([]svc.Request, 0, 3*requests)
+	for pass := 0; pass < 3; pass++ {
+		stream = append(stream, reqs...)
+	}
+
+	rows := make([]ServeRow, 0, len(workerCounts))
+	var serialOps float64
+	for _, w := range workerCounts {
+		// A fresh engine per row: cache and counters start cold.
+		fresh, err := env.Build(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: serve: %w", err)
+		}
+		eng := fresh.Framework.Engine()
+		start := time.Now()
+		_, errs := eng.ResolveAll(stream, w)
+		elapsed := time.Since(start)
+		for i, rerr := range errs {
+			if rerr != nil {
+				return nil, fmt.Errorf("experiments: serve: request %d: %w", i, rerr)
+			}
+		}
+		st := eng.Stats()
+		lookups := st.Cache.Hits + st.Cache.Misses
+		row := ServeRow{
+			Workers:   w,
+			Requests:  len(stream),
+			OpsPerSec: float64(len(stream)) / elapsed.Seconds(),
+			Deduped:   st.Deduped,
+		}
+		if lookups > 0 {
+			row.HitRate = float64(st.Cache.Hits) / float64(lookups)
+		}
+		if serialOps == 0 {
+			serialOps = row.OpsPerSec
+		}
+		row.Speedup = row.OpsPerSec / serialOps
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatServe renders the serving-throughput sweep.
+func FormatServe(rows []ServeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving-engine throughput (sharded cache + provider indexes + dedup)\n")
+	fmt.Fprintf(&b, "%8s  %9s  %10s  %8s  %8s  %8s\n",
+		"workers", "requests", "ops/sec", "speedup", "hit-rate", "deduped")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d  %9d  %10.0f  %7.2fx  %7.1f%%  %8d\n",
+			r.Workers, r.Requests, r.OpsPerSec, r.Speedup, 100*r.HitRate, r.Deduped)
+	}
+	return b.String()
+}

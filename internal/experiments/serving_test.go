@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hfc/internal/env"
+)
+
+func TestRunServe(t *testing.T) {
+	spec := env.SmallSpec(303)
+	spec.Proxies = 40
+	rows, err := RunServe(spec, 40, []int{1, 4})
+	if err != nil {
+		t.Fatalf("RunServe: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Requests != 3*40 {
+			t.Errorf("workers %d: requests = %d, want %d", r.Workers, r.Requests, 3*40)
+		}
+		if r.OpsPerSec <= 0 {
+			t.Errorf("workers %d: non-positive throughput %v", r.Workers, r.OpsPerSec)
+		}
+		// Two of three passes repeat the stream, so the cache must serve a
+		// substantial fraction.
+		if r.HitRate <= 0.3 {
+			t.Errorf("workers %d: hit rate %v, want > 0.3", r.Workers, r.HitRate)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("first row speedup = %v, want 1", rows[0].Speedup)
+	}
+	out := FormatServe(rows)
+	if !strings.Contains(out, "ops/sec") || !strings.Contains(out, "hit-rate") {
+		t.Errorf("FormatServe output missing columns:\n%s", out)
+	}
+
+	if _, err := RunServe(spec, 0, []int{1}); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := RunServe(spec, 5, nil); err == nil {
+		t.Error("empty worker sweep accepted")
+	}
+}

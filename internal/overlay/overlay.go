@@ -71,6 +71,9 @@ type Config struct {
 	// cluster the cached path depends on invalidates the entry. Default
 	// off.
 	CacheRoutes bool
+	// CacheShards overrides the route cache's shard count (0 selects
+	// routing.DefaultCacheShards). Ignored without CacheRoutes.
+	CacheShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -287,7 +290,11 @@ func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, err
 	}
 	var cache *routing.RouteCache
 	if cfg.CacheRoutes {
-		cache = routing.NewRouteCache()
+		shards := cfg.CacheShards
+		if shards == 0 {
+			shards = routing.DefaultCacheShards
+		}
+		cache = routing.NewRouteCacheSharded(shards)
 	}
 	s := &System{topo: topo, caps: caps, cfg: cfg, accepting: true,
 		dyn: hfc.NewDynamic(topo), cache: cache}
@@ -584,7 +591,7 @@ func (s *System) Route(req svc.Request) (*routing.Result, error) {
 	var version uint64
 	if s.cache != nil {
 		canonical = req.SG.Canonical()
-		key = routing.NewCacheKey(req.Source, req.Dest, req.SG)
+		key = routing.NewCacheKeyCanonical(req.Source, req.Dest, canonical)
 		if v, ok := s.cache.Get(key, canonical); ok {
 			// Cached results are shared read-only values.
 			return v.(*routing.Result), nil

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hfc/internal/svc"
 )
@@ -20,6 +21,26 @@ type CacheKey struct {
 // routing question.
 func NewCacheKey(src, dst int, sg *svc.Graph) CacheKey {
 	return CacheKey{Src: src, Dst: dst, SG: sg.Fingerprint()}
+}
+
+// NewCacheKeyCanonical builds the same key from an already-rendered
+// canonical form, skipping the second render Fingerprint would pay for.
+// canonical must be sg.Canonical() for the request's graph.
+func NewCacheKeyCanonical(src, dst int, canonical string) CacheKey {
+	return CacheKey{Src: src, Dst: dst, SG: svc.FingerprintCanonical(canonical)}
+}
+
+// shard selects the cache shard for a key by mixing its three components
+// with an FNV-ish multiply-xor; the fingerprint alone would collapse all
+// (src, dst) variants of one popular service graph onto one shard.
+func (k CacheKey) shard(n int) int {
+	h := k.SG
+	h ^= uint64(uint32(k.Src)) * 0x9e3779b97f4a7c15
+	h ^= uint64(uint32(k.Dst)) * 0xc2b2ae3d27d4eb4f
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(n))
 }
 
 // CacheStats counts cache outcomes.
@@ -46,6 +67,28 @@ type cacheEntry struct {
 	stamps    []stamp
 }
 
+// cacheShard is one independently locked segment of the cache. Each shard
+// keeps its own copy of the invalidation clocks (cluster rounds + global
+// epoch): AdvanceRound/AdvanceAll sweep all shards, while the hot Get/Put
+// path touches exactly one shard lock.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[CacheKey]*cacheEntry // guarded by mu
+	rounds  map[int]uint64           // guarded by mu
+	global  uint64                   // guarded by mu
+}
+
+// effectiveRoundLocked is the invalidation clock of one cluster: its own
+// round plus the global epoch. Called with sh.mu held.
+func (sh *cacheShard) effectiveRoundLocked(cluster int) uint64 {
+	return sh.rounds[cluster] + sh.global
+}
+
+// DefaultCacheShards is the shard count NewRouteCache uses — enough to keep
+// shard-lock collisions rare at realistic request concurrency without
+// making the AdvanceRound sweep noticeable.
+const DefaultCacheShards = 16
+
 // RouteCache is an invalidation-aware cache of resolved routes keyed by
 // (source, service-graph fingerprint, destination). Entries carry the state
 // rounds of the clusters their path traverses; advancing a cluster's round
@@ -53,57 +96,81 @@ type cacheEntry struct {
 // distribution sweep, §4) invalidates exactly the entries that depended on
 // it. Stale entries are evicted lazily on lookup.
 //
+// The cache is sharded by key hash: concurrent Get/Put calls on different
+// keys proceed on independent locks, and the outcome counters are atomics,
+// so the cache imposes no single serialization point on the request hot
+// path. Round advances bump the cache-wide version token and then sweep
+// every shard under its own lock, preserving the version contract: a Put
+// whose token predates any advance is dropped.
+//
 // Cached values are shared between callers and must be treated as
 // read-only. The cache itself is safe for concurrent use.
 type RouteCache struct {
-	mu      sync.Mutex
-	entries map[CacheKey]*cacheEntry // guarded by mu
-	rounds  map[int]uint64           // guarded by mu
-	global  uint64                   // guarded by mu
+	shards []cacheShard
 	// version counts every round advance; Put refuses to store a value
-	// computed before the latest advance (see Version).
-	version uint64     // guarded by mu
-	stats   CacheStats // guarded by mu
+	// computed before the latest advance (see Version). Incremented before
+	// the shard sweep so a Put that still observes the old version is
+	// guaranteed no newer advance has been signaled (see Put).
+	version atomic.Uint64
+	// advanceMu serializes AdvanceRound/AdvanceAll so concurrent advances
+	// cannot interleave their shard sweeps (each shard must see advances
+	// in one consistent order).
+	advanceMu sync.Mutex
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+	stores        atomic.Int64
 }
 
-// NewRouteCache returns an empty cache at round zero everywhere.
-func NewRouteCache() *RouteCache {
-	return &RouteCache{
-		entries: make(map[CacheKey]*cacheEntry),
-		rounds:  make(map[int]uint64),
+// NewRouteCache returns an empty cache at round zero everywhere, with
+// DefaultCacheShards shards.
+func NewRouteCache() *RouteCache { return NewRouteCacheSharded(DefaultCacheShards) }
+
+// NewRouteCacheSharded returns an empty cache with the given shard count
+// (values below one select a single shard — the fully serialized layout).
+func NewRouteCacheSharded(shards int) *RouteCache {
+	if shards < 1 {
+		shards = 1
 	}
+	c := &RouteCache{shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		//hfcvet:ignore guardedby construction precedes publication; no concurrent access yet
+		c.shards[i].entries = make(map[CacheKey]*cacheEntry)
+		//hfcvet:ignore guardedby construction precedes publication; no concurrent access yet
+		c.shards[i].rounds = make(map[int]uint64)
+	}
+	return c
 }
 
-// effectiveRoundLocked is the invalidation clock of one cluster: its own
-// round plus the global epoch. Called with mu held.
-func (c *RouteCache) effectiveRoundLocked(cluster int) uint64 {
-	return c.rounds[cluster] + c.global
-}
+// NumShards reports the shard count the cache was built with.
+func (c *RouteCache) NumShards() int { return len(c.shards) }
 
 // Get returns the cached value for key, if one exists whose canonical form
 // matches and whose cluster stamps are all still current. Stale entries are
 // evicted and counted as invalidations; every non-hit is a miss.
 func (c *RouteCache) Get(key CacheKey, canonical string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	sh := &c.shards[key.shard(len(c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok {
-		c.stats.Misses++
+		c.misses.Add(1)
 		return nil, false
 	}
 	if e.canonical != canonical {
-		c.stats.Misses++
+		c.misses.Add(1)
 		return nil, false
 	}
 	for _, s := range e.stamps {
-		if c.effectiveRoundLocked(s.cluster) != s.round {
-			delete(c.entries, key)
-			c.stats.Invalidations++
-			c.stats.Misses++
+		if sh.effectiveRoundLocked(s.cluster) != s.round {
+			delete(sh.entries, key)
+			c.invalidations.Add(1)
+			c.misses.Add(1)
 			return nil, false
 		}
 	}
-	c.stats.Hits++
+	c.hits.Add(1)
 	return e.value, true
 }
 
@@ -112,11 +179,7 @@ func (c *RouteCache) Get(key CacheKey, canonical string) (any, bool) {
 // Put: if any round advanced in between, the just-computed route may
 // already be stale, and Put discards it instead of stamping old data with
 // fresh rounds.
-func (c *RouteCache) Version() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.version
-}
+func (c *RouteCache) Version() uint64 { return c.version.Load() }
 
 // Put stores a resolved route under key, stamped with the current rounds of
 // the clusters the route depends on, unless the cache advanced past the
@@ -124,9 +187,19 @@ func (c *RouteCache) Version() uint64 {
 // dropped — never cached stale). A later advance of any stamped cluster
 // makes the entry stale.
 func (c *RouteCache) Put(key CacheKey, canonical string, value any, clusters []int, version uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if version != c.version {
+	sh := &c.shards[key.shard(len(c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// The version check runs under the shard lock. Advances bump the
+	// version BEFORE sweeping shards, so if the token still matches here,
+	// every advance signaled since the caller captured it is absent — and
+	// any sweep still in flight belongs to an advance whose bump predates
+	// the capture, meaning the computation already saw the post-advance
+	// state. Stamping then uses either the swept (current) rounds, which
+	// is correct, or the pre-sweep rounds, which under-stamps and merely
+	// invalidates the entry early. No stale value is ever stored with
+	// fresh stamps.
+	if version != c.version.Load() {
 		return
 	}
 	e := &cacheEntry{canonical: canonical, value: value, stamps: make([]stamp, 0, len(clusters))}
@@ -136,41 +209,61 @@ func (c *RouteCache) Put(key CacheKey, canonical string, value any, clusters []i
 			continue
 		}
 		seen[cl] = true
-		e.stamps = append(e.stamps, stamp{cluster: cl, round: c.effectiveRoundLocked(cl)})
+		e.stamps = append(e.stamps, stamp{cluster: cl, round: sh.effectiveRoundLocked(cl)})
 	}
-	c.entries[key] = e
-	c.stats.Stores++
+	sh.entries[key] = e
+	c.stores.Add(1)
 }
 
 // AdvanceRound bumps one cluster's state round, invalidating every cached
 // route stamped with that cluster.
 func (c *RouteCache) AdvanceRound(cluster int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rounds[cluster]++
-	c.version++
+	c.advanceMu.Lock()
+	defer c.advanceMu.Unlock()
+	// Version first, shard sweep second — see the Put version check.
+	c.version.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.rounds[cluster]++
+		sh.mu.Unlock()
+	}
 }
 
 // AdvanceAll bumps the global epoch, invalidating every cached route (a
 // full state-distribution round touches every cluster).
 func (c *RouteCache) AdvanceAll() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.global++
-	c.version++
+	c.advanceMu.Lock()
+	defer c.advanceMu.Unlock()
+	// Version first, shard sweep second — see the Put version check.
+	c.version.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.global++
+		sh.mu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *RouteCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Stores:        c.stores.Load(),
+	}
 }
 
 // Len returns the number of entries currently stored (stale entries not yet
 // evicted included).
 func (c *RouteCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return total
 }

@@ -135,11 +135,58 @@ func TestRouteCacheDedupesStampClusters(t *testing.T) {
 	key := NewCacheKey(0, 1, g)
 	canon := g.Canonical()
 	c.Put(key, canon, "r", []int{1, 1, 2, 1, 2}, c.Version())
-	c.mu.Lock()
-	stamps := len(c.entries[key].stamps)
-	c.mu.Unlock()
+	sh := &c.shards[key.shard(len(c.shards))]
+	sh.mu.Lock()
+	stamps := len(sh.entries[key].stamps)
+	sh.mu.Unlock()
 	if stamps != 2 {
 		t.Errorf("stored %d stamps for clusters {1,2}, want 2", stamps)
+	}
+}
+
+// TestRouteCacheShardDistribution checks that realistic key populations
+// spread across shards instead of collapsing onto one lock: every shard of
+// a 16-shard cache should own some of 4096 distinct (src, dst) keys.
+func TestRouteCacheShardDistribution(t *testing.T) {
+	c := NewRouteCacheSharded(16)
+	g := testGraph(t, "a", "b")
+	canon := g.Canonical()
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			if src == dst {
+				continue
+			}
+			c.Put(NewCacheKey(src, dst, g), canon, "r", nil, c.Version())
+		}
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := len(sh.entries)
+		sh.mu.Unlock()
+		if n == 0 {
+			t.Errorf("shard %d holds no entries; key hash is collapsing shards", i)
+		}
+	}
+}
+
+// TestRouteCacheSingleShard pins the degenerate configuration: one shard
+// must behave exactly like the pre-sharding cache.
+func TestRouteCacheSingleShard(t *testing.T) {
+	c := NewRouteCacheSharded(0) // clamps to 1
+	if c.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", c.NumShards())
+	}
+	g := testGraph(t, "a", "b")
+	canon := g.Canonical()
+	key := NewCacheKey(0, 1, g)
+	c.Put(key, canon, "r", []int{3}, c.Version())
+	if _, ok := c.Get(key, canon); !ok {
+		t.Fatal("miss on a fresh single-shard entry")
+	}
+	c.AdvanceRound(3)
+	if _, ok := c.Get(key, canon); ok {
+		t.Fatal("single-shard entry survived AdvanceRound")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"hfc/internal/svc"
 )
@@ -58,11 +59,63 @@ func FindPath(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expand
 	return FindPathFiltered(req, providers, oracle, exp, nil)
 }
 
+// pathScratch is the reusable work arena of one FindPathFiltered call. The
+// per-vertex dist/parent tables are flattened into single backing arrays
+// indexed through off, and the per-vertex edge buckets keep their capacity
+// across calls, so a steady-state resolution allocates only its result.
+// Scratches are pooled; every field is re-initialized per call.
+type pathScratch struct {
+	provs [][]int // provider list per SG vertex (shared slices, not owned)
+	off   []int   // off[v] is the flat offset of vertex v; len nv+1
+
+	// Flat tables over all (vertex, provider-index) pairs: the slot of
+	// (v, i) is off[v]+i. dist is the best cost from the virtual source;
+	// parV/parI track (prevVertex, prevProviderIdx), with parV == -2
+	// marking unreached and -1 the virtual source.
+	dist []float64
+	parV []int
+	parI []int
+
+	edges   [][]int // edgesByTail: SG edge heads grouped by tail vertex
+	indeg   []int
+	outdeg  []int
+	queue   []int
+	order   []int
+	sources []int
+	sinks   []int
+	revV    []int // reconstruction stack (vertex, provider-index)
+	revI    []int
+}
+
+// grow returns buf with length n, reusing its capacity when possible. The
+// returned slice's contents are unspecified; callers must overwrite.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(pathScratch) }}
+
 // FindPathFiltered is FindPath with an admissibility filter on overlay
 // hops: DAG edges whose endpoints fail the filter are not relaxed, so the
 // result is the minimum-cost service path using admissible hops only. It
 // returns ErrInfeasible when the filter disconnects every configuration.
+//
+// The search runs on a pooled scratch arena, so concurrent and repeated
+// calls do per-request work without per-request table allocations; results
+// are identical to a fresh-allocation run (asserted by FuzzFindPathScratch).
 func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expander, admissible EdgeFilter) (*Path, error) {
+	sc := scratchPool.Get().(*pathScratch)
+	defer scratchPool.Put(sc)
+	return findPathScratch(req, providers, oracle, exp, admissible, sc)
+}
+
+// findPathScratch is the FindPathFiltered implementation against an
+// explicit scratch arena (tests pass fresh arenas to compare against pooled
+// runs).
+func findPathScratch(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expander, admissible EdgeFilter, sc *pathScratch) (*Path, error) {
 	if providers == nil {
 		return nil, errors.New("routing: nil provider function")
 	}
@@ -79,35 +132,59 @@ func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, ex
 	sg := req.SG
 	nv := sg.Len()
 
-	// Provider lists per service-graph vertex.
-	provs := make([][]int, nv)
+	// Provider lists per service-graph vertex, and the flat offsets.
+	sc.provs = grow(sc.provs, nv)
+	sc.off = grow(sc.off, nv+1)
+	total := 0
 	for v := 0; v < nv; v++ {
-		provs[v] = providers(sg.Services[v])
-		if len(provs[v]) == 0 {
+		sc.off[v] = total
+		sc.provs[v] = providers(sg.Services[v])
+		if len(sc.provs[v]) == 0 {
 			return nil, fmt.Errorf("routing: service %q: %w", sg.Services[v], ErrNoProviders)
 		}
+		total += len(sc.provs[v])
+	}
+	sc.off[nv] = total
+
+	sc.dist = grow(sc.dist, total)
+	sc.parV = grow(sc.parV, total)
+	sc.parI = grow(sc.parI, total)
+	inf := math.Inf(1)
+	for i := 0; i < total; i++ {
+		sc.dist[i] = inf
+		sc.parV[i] = -2
 	}
 
-	// dist[v][i] is the best cost from the virtual source to provider
-	// provs[v][i] having performed the services of some SG path ending at
-	// vertex v. parent tracks (prevVertex, prevProviderIdx); prevVertex ==
-	// -1 marks the virtual source.
-	dist := make([][]float64, nv)
-	parentV := make([][]int, nv)
-	parentI := make([][]int, nv)
+	// Degrees, sources and sinks, and edges grouped by tail — one pass
+	// over the SG edge list into reused buckets.
+	sc.indeg = grow(sc.indeg, nv)
+	sc.outdeg = grow(sc.outdeg, nv)
+	sc.edges = grow(sc.edges, nv)
 	for v := 0; v < nv; v++ {
-		dist[v] = make([]float64, len(provs[v]))
-		parentV[v] = make([]int, len(provs[v]))
-		parentI[v] = make([]int, len(provs[v]))
-		for i := range dist[v] {
-			dist[v][i] = math.Inf(1)
-			parentV[v][i] = -2
+		sc.indeg[v] = 0
+		sc.outdeg[v] = 0
+		sc.edges[v] = sc.edges[v][:0]
+	}
+	for _, e := range sg.Edges {
+		sc.edges[e[0]] = append(sc.edges[e[0]], e[1])
+		sc.indeg[e[1]]++
+		sc.outdeg[e[0]]++
+	}
+	sc.sources = sc.sources[:0]
+	sc.sinks = sc.sinks[:0]
+	for v := 0; v < nv; v++ {
+		if sc.indeg[v] == 0 {
+			sc.sources = append(sc.sources, v)
+		}
+		if sc.outdeg[v] == 0 {
+			sc.sinks = append(sc.sinks, v)
 		}
 	}
 
 	// Initialize SG source vertices from the virtual source (req.Source).
-	for _, v := range sg.Sources() {
-		for i, p := range provs[v] {
+	for _, v := range sc.sources {
+		base := sc.off[v]
+		for i, p := range sc.provs[v] {
 			if !hopOK(req.Source, p) {
 				continue
 			}
@@ -115,36 +192,43 @@ func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, ex
 			if p != req.Source {
 				d = oracle.Dist(req.Source, p)
 			}
-			if d < dist[v][i] {
-				dist[v][i] = d
-				parentV[v][i] = -1
-				parentI[v][i] = -1
+			if d < sc.dist[base+i] {
+				sc.dist[base+i] = d
+				sc.parV[base+i] = -1
+				sc.parI[base+i] = -1
 			}
 		}
 	}
 
+	// Topological order of the SG vertices (Kahn, consuming indeg).
+	sc.queue = sc.queue[:0]
+	sc.queue = append(sc.queue, sc.sources...)
+	sc.order = sc.order[:0]
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		sc.order = append(sc.order, u)
+		for _, v := range sc.edges[u] {
+			sc.indeg[v]--
+			if sc.indeg[v] == 0 {
+				sc.queue = append(sc.queue, v)
+			}
+		}
+	}
+	if len(sc.order) != nv {
+		return nil, errors.New("routing: service graph contains a cycle")
+	}
+
 	// Relax SG edges in topological order of the service graph.
-	order, err := sgTopoOrder(sg)
-	if err != nil {
-		return nil, err
-	}
-	pos := make([]int, nv)
-	for idx, v := range order {
-		pos[v] = idx
-	}
-	// Group edges by tail and process tails in topological order.
-	edgesByTail := make([][]int, nv)
-	for _, e := range sg.Edges {
-		edgesByTail[e[0]] = append(edgesByTail[e[0]], e[1])
-	}
-	for _, u := range order {
-		for i, p := range provs[u] {
-			du := dist[u][i]
+	for _, u := range sc.order {
+		baseU := sc.off[u]
+		for i, p := range sc.provs[u] {
+			du := sc.dist[baseU+i]
 			if math.IsInf(du, 1) {
 				continue
 			}
-			for _, v := range edgesByTail[u] {
-				for j, q := range provs[v] {
+			for _, v := range sc.edges[u] {
+				baseV := sc.off[v]
+				for j, q := range sc.provs[v] {
 					if !hopOK(p, q) {
 						continue
 					}
@@ -152,10 +236,10 @@ func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, ex
 					if p != q {
 						d = oracle.Dist(p, q)
 					}
-					if nd := du + d; nd < dist[v][j] {
-						dist[v][j] = nd
-						parentV[v][j] = u
-						parentI[v][j] = i
+					if nd := du + d; nd < sc.dist[baseV+j] {
+						sc.dist[baseV+j] = nd
+						sc.parV[baseV+j] = u
+						sc.parI[baseV+j] = i
 					}
 				}
 			}
@@ -165,16 +249,17 @@ func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, ex
 	// Terminate at the virtual sink (req.Dest) from SG sink vertices.
 	bestCost := math.Inf(1)
 	bestV, bestI := -1, -1
-	for _, v := range sg.Sinks() {
-		for i, p := range provs[v] {
-			if math.IsInf(dist[v][i], 1) || !hopOK(p, req.Dest) {
+	for _, v := range sc.sinks {
+		base := sc.off[v]
+		for i, p := range sc.provs[v] {
+			if math.IsInf(sc.dist[base+i], 1) || !hopOK(p, req.Dest) {
 				continue
 			}
 			var d float64
 			if p != req.Dest {
 				d = oracle.Dist(p, req.Dest)
 			}
-			if c := dist[v][i] + d; c < bestCost {
+			if c := sc.dist[base+i] + d; c < bestCost {
 				bestCost = c
 				bestV, bestI = v, i
 			}
@@ -185,19 +270,20 @@ func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, ex
 	}
 
 	// Reconstruct the (service, node) sequence.
-	type step struct {
-		v, i int
-	}
-	var rev []step
+	sc.revV = sc.revV[:0]
+	sc.revI = sc.revI[:0]
 	for v, i := bestV, bestI; v != -1; {
-		rev = append(rev, step{v, i})
-		pv, pi := parentV[v][i], parentI[v][i]
-		v, i = pv, pi
+		sc.revV = append(sc.revV, v)
+		sc.revI = append(sc.revI, i)
+		slot := sc.off[v] + i
+		v, i = sc.parV[slot], sc.parI[slot]
 	}
-	hops := []Hop{{Node: req.Source}}
-	for idx := len(rev) - 1; idx >= 0; idx-- {
-		s := rev[idx]
-		hops = append(hops, Hop{Node: provs[s.v][s.i], Service: sg.Services[s.v]})
+	// The hop sequence escapes into the result; allocate it exactly once.
+	hops := make([]Hop, 0, len(sc.revV)+2)
+	hops = append(hops, Hop{Node: req.Source})
+	for idx := len(sc.revV) - 1; idx >= 0; idx-- {
+		v, i := sc.revV[idx], sc.revI[idx]
+		hops = append(hops, Hop{Node: sc.provs[v][i], Service: sg.Services[v]})
 	}
 	hops = append(hops, Hop{Node: req.Dest})
 

@@ -106,6 +106,10 @@ type HierarchicalRouter struct {
 	// cluster-level path may use — the QoS hook for aggregated bandwidth
 	// constraints.
 	CrossingAdmissible func(from, to int) bool
+	// Index, when non-nil, answers the per-service cluster-candidate query
+	// from an inverted SCT_C index instead of scanning State's aggregate
+	// table per service. Built from the same state; results are identical.
+	Index *ProviderIndex
 }
 
 // Result carries the outcome of a hierarchical routing step, including the
@@ -217,9 +221,16 @@ func (r *HierarchicalRouter) clusterLevelPath(req svc.Request, srcCluster, destC
 	// the QoS admissibility hook).
 	cands := make([][]int, nv)
 	for v := 0; v < nv; v++ {
-		all := r.State.ClustersProviding(sg.Services[v])
+		var all []int
+		if r.Index != nil {
+			all = r.Index.ClustersProviding(sg.Services[v])
+		} else {
+			all = r.State.ClustersProviding(sg.Services[v])
+		}
 		if r.ClusterAdmissible != nil {
-			kept := all[:0]
+			// Filter into a fresh slice: the index path hands out a shared
+			// read-only slice that must not be compacted in place.
+			kept := make([]int, 0, len(all))
 			for _, c := range all {
 				if r.ClusterAdmissible(sg.Services[v], c) {
 					kept = append(kept, c)

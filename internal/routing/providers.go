@@ -1,0 +1,148 @@
+package routing
+
+import (
+	"sort"
+	"sync"
+
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// ProviderIndex is the inverted service-capability index one resolver proxy
+// derives from its converged routing state: for every service, the sorted
+// own-cluster providers (from SCT_P) and the sorted clusters whose
+// aggregate offers it (from SCT_C). Request resolution is lookup-driven
+// against this index instead of rescanning every cluster member's
+// capability set per service per request.
+//
+// The index is immutable after construction; the returned slices are shared
+// and must be treated as read-only. Staleness is the caller's concern:
+// rebuild the index when the underlying state advances (see LazyIndexes).
+type ProviderIndex struct {
+	local    map[svc.Service][]int
+	clusters map[svc.Service][]int
+	// fn is the ProviderFunc adapter, bound once at build time so hot
+	// paths can pass the index into FindPath without a per-call closure
+	// allocation.
+	fn ProviderFunc
+}
+
+// BuildProviderIndex inverts one node's state tables. members must be the
+// sorted member list of the node's cluster (hfc.Topology.Members order):
+// provider lists come out in exactly the order the previous per-request
+// membership scan produced, so routing decisions are bit-identical.
+func BuildProviderIndex(st *state.NodeState, members []int) *ProviderIndex {
+	pi := &ProviderIndex{
+		local:    make(map[svc.Service][]int),
+		clusters: make(map[svc.Service][]int),
+	}
+	for _, m := range members {
+		set, ok := st.SCTP[m]
+		if !ok {
+			continue
+		}
+		for s := range set {
+			pi.local[s] = append(pi.local[s], m)
+		}
+	}
+	// Map iteration filled each list in members order per service only for
+	// the outer loop; the inner set iteration order is irrelevant (one
+	// member appends to many services, each exactly once). Lists are in
+	// ascending member order already, but sort defensively so the contract
+	// does not depend on the caller passing sorted members.
+	for s := range pi.local {
+		sort.Ints(pi.local[s])
+	}
+	clusterIDs := make([]int, 0, len(st.SCTC))
+	for c := range st.SCTC {
+		clusterIDs = append(clusterIDs, c)
+	}
+	sort.Ints(clusterIDs)
+	for _, c := range clusterIDs {
+		for s := range st.SCTC[c] {
+			pi.clusters[s] = append(pi.clusters[s], c)
+		}
+	}
+	pi.fn = func(s svc.Service) []int { return pi.local[s] }
+	return pi
+}
+
+// Providers returns the sorted own-cluster providers of s (shared slice —
+// do not modify). Nil when no member provides s.
+func (pi *ProviderIndex) Providers(s svc.Service) []int { return pi.local[s] }
+
+// ClustersProviding returns the sorted cluster IDs whose aggregate set
+// includes s (shared slice — do not modify). Matches
+// state.NodeState.ClustersProviding on a state whose SCT_C covers clusters
+// 0..k-1.
+func (pi *ProviderIndex) ClustersProviding(s svc.Service) []int { return pi.clusters[s] }
+
+// ProviderFunc returns the index's SCT_P lookup as a ProviderFunc without
+// allocating a new closure per call.
+func (pi *ProviderIndex) ProviderFunc() ProviderFunc { return pi.fn }
+
+// LazyIndexes caches per-resolver ProviderIndexes over a NodeState slice,
+// rebuilding them lazily when the owning engine's invalidation version
+// moves — the same token the route cache stamps entries with, so index and
+// cache go stale together.
+//
+// Readers and the version source must be externally consistent: a caller
+// that mutates the states must advance the version before the mutation is
+// observable to For (serve.Engine does both under its state write lock).
+type LazyIndexes struct {
+	states  []state.NodeState
+	members func(node int) []int
+	// version supplies the current invalidation stamp; nil pins version 0
+	// (static states, e.g. the synchronous simulation).
+	version func() uint64
+
+	mu  sync.RWMutex
+	idx map[int]stampedIndex // guarded by mu
+}
+
+type stampedIndex struct {
+	version uint64
+	pi      *ProviderIndex
+}
+
+// NewLazyIndexes builds an empty index cache. members maps a node to its
+// cluster's sorted member list; version may be nil for static states.
+func NewLazyIndexes(states []state.NodeState, members func(node int) []int, version func() uint64) *LazyIndexes {
+	return &LazyIndexes{
+		states:  states,
+		members: members,
+		version: version,
+		idx:     make(map[int]stampedIndex),
+	}
+}
+
+// For returns node's provider index, building it on first use and after
+// every version advance. Concurrent callers may build the same index twice;
+// both results are identical and either may win the store.
+func (l *LazyIndexes) For(node int) *ProviderIndex {
+	var v uint64
+	if l.version != nil {
+		v = l.version()
+	}
+	l.mu.RLock()
+	e, ok := l.idx[node]
+	l.mu.RUnlock()
+	if ok && e.version == v {
+		return e.pi
+	}
+	pi := BuildProviderIndex(&l.states[node], l.members(node))
+	l.mu.Lock()
+	l.idx[node] = stampedIndex{version: v, pi: pi}
+	l.mu.Unlock()
+	return pi
+}
+
+// InvalidateAll drops every cached index immediately. Not required for
+// correctness when a version source is configured (stale stamps already
+// force rebuilds); it exists to release memory eagerly and to serve as the
+// invalidation hook for version-less (static) usage.
+func (l *LazyIndexes) InvalidateAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	clear(l.idx)
+}

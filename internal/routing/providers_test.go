@@ -1,0 +1,110 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// testNodeState builds a NodeState whose cluster members hold the given
+// capability sets and whose SCT_C covers the given cluster aggregates.
+func testNodeState(members []int, memberCaps []svc.CapabilitySet, aggregates []svc.CapabilitySet) *state.NodeState {
+	st := &state.NodeState{
+		SCTP: make(map[int]svc.CapabilitySet),
+		SCTC: make(map[int]svc.CapabilitySet),
+	}
+	for i, m := range members {
+		st.SCTP[m] = memberCaps[i]
+	}
+	for c, agg := range aggregates {
+		st.SCTC[c] = agg
+	}
+	return st
+}
+
+func TestProviderIndexMatchesScan(t *testing.T) {
+	members := []int{3, 7, 11, 20}
+	memberCaps := []svc.CapabilitySet{
+		svc.NewCapabilitySet("a", "b"),
+		svc.NewCapabilitySet("b", "c"),
+		svc.NewCapabilitySet("a", "c", "d"),
+		svc.NewCapabilitySet("b"),
+	}
+	aggregates := []svc.CapabilitySet{
+		svc.NewCapabilitySet("a", "b", "c", "d"),
+		svc.NewCapabilitySet("c"),
+		svc.NewCapabilitySet("a", "d"),
+	}
+	st := testNodeState(members, memberCaps, aggregates)
+	pi := BuildProviderIndex(st, members)
+
+	for _, s := range []svc.Service{"a", "b", "c", "d", "missing"} {
+		// Reference: the scan SolveChild used to run per service.
+		var want []int
+		for _, m := range members {
+			if set, ok := st.SCTP[m]; ok && set.Has(s) {
+				want = append(want, m)
+			}
+		}
+		if got := pi.Providers(s); !reflect.DeepEqual(got, want) {
+			t.Errorf("Providers(%q) = %v, want %v", s, got, want)
+		}
+		if got, want := pi.ClustersProviding(s), st.ClustersProviding(s); !reflect.DeepEqual(got, want) {
+			t.Errorf("ClustersProviding(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestProviderIndexLookupAllocFree(t *testing.T) {
+	members := []int{0, 1, 2}
+	caps := []svc.CapabilitySet{
+		svc.NewCapabilitySet("a", "b"),
+		svc.NewCapabilitySet("a"),
+		svc.NewCapabilitySet("b"),
+	}
+	st := testNodeState(members, caps, []svc.CapabilitySet{svc.NewCapabilitySet("a", "b")})
+	pi := BuildProviderIndex(st, members)
+	fn := pi.ProviderFunc()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if len(fn("a")) != 2 {
+			t.Fatal("wrong provider count")
+		}
+	}); allocs != 0 {
+		t.Errorf("indexed provider lookup allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestLazyIndexesRebuildOnVersionBump(t *testing.T) {
+	members := []int{0, 1}
+	states := []state.NodeState{
+		*testNodeState(members, []svc.CapabilitySet{svc.NewCapabilitySet("a"), svc.NewCapabilitySet("b")},
+			[]svc.CapabilitySet{svc.NewCapabilitySet("a", "b")}),
+		*testNodeState(members, []svc.CapabilitySet{svc.NewCapabilitySet("a"), svc.NewCapabilitySet("b")},
+			[]svc.CapabilitySet{svc.NewCapabilitySet("a", "b")}),
+	}
+	var version uint64
+	li := NewLazyIndexes(states, func(int) []int { return members }, func() uint64 { return version })
+
+	first := li.For(1)
+	if second := li.For(1); second != first {
+		t.Fatal("index rebuilt without a version bump")
+	}
+
+	// Mutate node 1's state, bump the version: For must rebuild and see it.
+	states[1].SCTP[0].Add("c")
+	version++
+	rebuilt := li.For(1)
+	if rebuilt == first {
+		t.Fatal("index not rebuilt after version bump")
+	}
+	if got := rebuilt.Providers("c"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("rebuilt Providers(c) = %v, want [0]", got)
+	}
+
+	li.InvalidateAll()
+	if li.For(1) == rebuilt {
+		t.Fatal("InvalidateAll kept a cached index")
+	}
+}

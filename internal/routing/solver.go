@@ -20,6 +20,13 @@ type LocalIntraSolver struct {
 	// States holds the converged per-node routing state; the resolver's
 	// SCT_P supplies the provider lists.
 	States []state.NodeState
+	// Indexes, when non-nil, supplies prebuilt inverted provider indexes
+	// per resolver, turning the per-service provider lookup into a map
+	// access instead of a scan over every cluster member's capability set
+	// (and eliminating the per-call closure allocation). Share one
+	// LazyIndexes across solvers serving the same states — serve.Engine
+	// does — so indexes are built once per state round, not per request.
+	Indexes *LazyIndexes
 }
 
 var _ IntraSolver = (*LocalIntraSolver)(nil)
@@ -58,16 +65,21 @@ func (s *LocalIntraSolver) SolveChild(child ChildRequest) (*Path, error) {
 	if err != nil {
 		return nil, fmt.Errorf("routing: child service chain: %w", err)
 	}
-	resolver := &s.States[child.Resolver]
-	members := s.Topo.Members(child.Cluster)
-	providers := func(x svc.Service) []int {
-		var out []int
-		for _, m := range members {
-			if set, ok := resolver.SCTP[m]; ok && set.Has(x) {
-				out = append(out, m)
+	var providers ProviderFunc
+	if s.Indexes != nil {
+		providers = s.Indexes.For(child.Resolver).ProviderFunc()
+	} else {
+		resolver := &s.States[child.Resolver]
+		members := s.Topo.Members(child.Cluster)
+		providers = func(x svc.Service) []int {
+			var out []int
+			for _, m := range members {
+				if set, ok := resolver.SCTP[m]; ok && set.Has(x) {
+					out = append(out, m)
+				}
 			}
+			return out
 		}
-		return out
 	}
 	req := svc.Request{Source: child.Source, Dest: child.Dest, SG: sg}
 	return FindPath(req, providers, OracleFunc(s.Topo.Dist), nil)

@@ -1,0 +1,345 @@
+// Package serve is the concurrent route-serving engine: it answers §5
+// service-routing requests against one bootstrapped HFC overlay at high
+// request concurrency. Three mechanisms carry the load:
+//
+//   - a sharded, invalidation-aware route cache (routing.RouteCache), so
+//     concurrent lookups on different keys never contend on one lock;
+//   - inverted provider indexes (routing.LazyIndexes), rebuilt lazily when
+//     the engine's state advances, so resolution looks providers up instead
+//     of rescanning capability tables per request;
+//   - in-flight deduplication: identical concurrent (source, destination,
+//     service-graph) resolutions share one computation instead of racing to
+//     compute the same route N times.
+//
+// Capability updates and cluster invalidations run under a writer lock and
+// bump the cache's version clock, so a resolution never returns a route
+// computed against state older than the resolution's own start.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hfc/internal/hfc"
+	"hfc/internal/par"
+	"hfc/internal/routing"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+)
+
+// Config tunes an Engine. The zero value selects the defaults noted per
+// field.
+type Config struct {
+	// CacheShards is the route-cache shard count (default
+	// routing.DefaultCacheShards; values below one select a single shard).
+	CacheShards int
+	// Relax selects the cluster-level relaxation mode (default
+	// RelaxBacktrack).
+	Relax routing.RelaxMode
+	// Workers is the default fan-out of ResolveAll when its workers
+	// argument is zero (0/1 serial, negative = all cores).
+	Workers int
+}
+
+// Stats is a snapshot of the engine's serving counters.
+type Stats struct {
+	// Cache aggregates the route-cache outcomes.
+	Cache routing.CacheStats
+	// Resolutions counts full §5 computations performed.
+	Resolutions int64
+	// Deduped counts resolutions answered by joining another caller's
+	// in-flight computation of the same request.
+	Deduped int64
+}
+
+// flightKey identifies one deduplicatable computation: the route-cache key
+// plus the cache version the computation was admitted under. Versioning the
+// key means a caller only ever joins a computation at least as fresh as its
+// own start — after an invalidation, late arrivals start a new computation
+// instead of adopting a pre-invalidation result.
+type flightKey struct {
+	key     routing.CacheKey
+	version uint64
+}
+
+// flightCall is one in-flight resolution; res and err are written exactly
+// once, before done is closed, and read only after <-done.
+type flightCall struct {
+	done chan struct{}
+	res  *routing.Result
+	err  error
+}
+
+// Engine serves routing requests concurrently over one HFC overlay.
+// Resolution is read-side (shared); capability updates are writer-side and
+// invalidate exactly the cache entries and indexes they affect.
+type Engine struct {
+	topo    *hfc.Topology
+	relax   routing.RelaxMode
+	workers int
+
+	// stateMu orders resolutions against state mutation: every resolution
+	// computes under the read side, every mutation (UpdateCapability)
+	// rewrites states and advances the cache version under the write side.
+	stateMu sync.RWMutex
+	caps    []svc.CapabilitySet // guarded by stateMu
+	// states is updated in place (elements overwritten, header immutable),
+	// so the solver and index structures that captured the slice at
+	// construction observe every update.
+	states []state.NodeState // guarded by stateMu
+
+	cache   *routing.RouteCache
+	indexes *routing.LazyIndexes
+	solver  *routing.LocalIntraSolver
+
+	// views caches each destination proxy's immutable topology view,
+	// built on first use (topo.View copies border tables — far too
+	// expensive per request). Concurrent first builds are idempotent.
+	views []atomic.Pointer[hfc.NodeView]
+
+	flightMu sync.Mutex
+	flight   map[flightKey]*flightCall // guarded by flightMu
+
+	resolutions atomic.Int64
+	deduped     atomic.Int64
+}
+
+// NewEngine builds an engine over a bootstrapped topology with converged
+// states. caps[i] is the deployment of proxy i (cloned; the engine owns its
+// copy). states must be the matching state.Distribute output; the engine
+// copies the slice and owns all subsequent mutation.
+func NewEngine(topo *hfc.Topology, caps []svc.CapabilitySet, states []state.NodeState, cfg Config) (*Engine, error) {
+	if topo == nil {
+		return nil, errors.New("serve: nil topology")
+	}
+	if len(states) != topo.N() {
+		return nil, fmt.Errorf("serve: %d states for %d nodes", len(states), topo.N())
+	}
+	if len(caps) != topo.N() {
+		return nil, fmt.Errorf("serve: %d capability sets for %d nodes", len(caps), topo.N())
+	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = routing.DefaultCacheShards
+	}
+	if cfg.Relax == 0 {
+		cfg.Relax = routing.RelaxBacktrack
+	}
+	capsClone := make([]svc.CapabilitySet, len(caps))
+	for i, c := range caps {
+		capsClone[i] = c.Clone()
+	}
+	// The states slice header is fixed here; UpdateCapability copies fresh
+	// elements into it in place, so the indexes and solver built over it
+	// always observe the current state.
+	statesCopy := append([]state.NodeState(nil), states...)
+	cache := routing.NewRouteCacheSharded(cfg.CacheShards)
+	indexes := routing.NewLazyIndexes(statesCopy, func(node int) []int {
+		return topo.Members(topo.ClusterOf(node))
+	}, cache.Version)
+	return &Engine{
+		topo:    topo,
+		relax:   cfg.Relax,
+		workers: cfg.Workers,
+		caps:    capsClone,
+		states:  statesCopy,
+		cache:   cache,
+		indexes: indexes,
+		solver:  &routing.LocalIntraSolver{Topo: topo, States: statesCopy, Indexes: indexes},
+		views:   make([]atomic.Pointer[hfc.NodeView], topo.N()),
+		flight:  make(map[flightKey]*flightCall),
+	}, nil
+}
+
+// view returns dest's cached topology view, building it on first use.
+func (e *Engine) view(dest int) (*hfc.NodeView, error) {
+	if v := e.views[dest].Load(); v != nil {
+		return v, nil
+	}
+	v, err := e.topo.View(dest)
+	if err != nil {
+		return nil, err
+	}
+	// A concurrent builder may have won; either view is identical.
+	e.views[dest].CompareAndSwap(nil, v)
+	return e.views[dest].Load(), nil
+}
+
+// Resolve answers one service request, returning the composed path.
+func (e *Engine) Resolve(req svc.Request) (*routing.Path, error) {
+	res, err := e.ResolveDetailed(req)
+	if err != nil {
+		return nil, err
+	}
+	return res.Path, nil
+}
+
+// ResolveDetailed answers one service request with the full §5 result.
+// Identical concurrent requests share one computation; repeated requests
+// are answered from the route cache until an update invalidates a cluster
+// their path depends on. The returned result is shared and read-only.
+func (e *Engine) ResolveDetailed(req svc.Request) (*routing.Result, error) {
+	if err := req.Validate(e.topo.N()); err != nil {
+		return nil, err
+	}
+	canonical := req.SG.Canonical()
+	key := routing.NewCacheKeyCanonical(req.Source, req.Dest, canonical)
+	if v, ok := e.cache.Get(key, canonical); ok {
+		return v.(*routing.Result), nil
+	}
+	version := e.cache.Version()
+	fk := flightKey{key: key, version: version}
+	e.flightMu.Lock()
+	if c, ok := e.flight[fk]; ok {
+		e.flightMu.Unlock()
+		// Join the in-flight computation. No locks are held while waiting;
+		// the version in fk guarantees the leader started no earlier than
+		// this caller's current view of the cache, so the shared result is
+		// never older than this call.
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		e.deduped.Add(1)
+		return c.res, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	e.flight[fk] = c
+	e.flightMu.Unlock()
+
+	c.res, c.err = e.compute(req, key, canonical, version)
+	e.flightMu.Lock()
+	delete(e.flight, fk)
+	e.flightMu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// compute performs the full hierarchical resolution under the state read
+// lock and publishes the result to the cache (unless an invalidation
+// overtook the computation — then the cache drops it and only this call's
+// waiters see the result).
+func (e *Engine) compute(req svc.Request, key routing.CacheKey, canonical string, version uint64) (*routing.Result, error) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	view, err := e.view(req.Dest)
+	if err != nil {
+		return nil, err
+	}
+	r := routing.HierarchicalRouter{
+		View:            view,
+		State:           &e.states[req.Dest],
+		Intra:           e.solver,
+		ClusterOfSource: e.topo.ClusterOf,
+		Mode:            e.relax,
+		Index:           e.indexes.For(req.Dest),
+	}
+	res, err := r.Route(req)
+	e.resolutions.Add(1)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Put(key, canonical, res, e.routeClusters(res, req), version)
+	return res, nil
+}
+
+// routeClusters lists every cluster a resolved route depends on — both
+// endpoint clusters, the CSP's provider clusters, and the cluster of every
+// hop proxy on the composed path — so the cache entry goes stale exactly
+// when one of them advances. Duplicates are fine; the cache deduplicates.
+func (e *Engine) routeClusters(res *routing.Result, req svc.Request) []int {
+	out := []int{e.topo.ClusterOf(req.Source), e.topo.ClusterOf(req.Dest)}
+	for _, entry := range res.CSP {
+		out = append(out, entry.Cluster)
+	}
+	if res.Path != nil {
+		for _, h := range res.Path.Hops {
+			out = append(out, e.topo.ClusterOf(h.Node))
+		}
+	}
+	return out
+}
+
+// ResolveAll answers a batch of requests on a bounded worker pool (see
+// internal/par: 0 falls back to the engine's configured default, 1 is
+// serial, negative uses all cores). Results and errors are aligned with
+// reqs; each request succeeds or fails independently.
+func (e *Engine) ResolveAll(reqs []svc.Request, workers int) ([]*routing.Path, []error) {
+	if workers == 0 {
+		workers = e.workers
+	}
+	paths := make([]*routing.Path, len(reqs))
+	errs := make([]error, len(reqs))
+	par.For(len(reqs), workers, func(i int) {
+		paths[i], errs[i] = e.Resolve(reqs[i])
+	})
+	return paths, errs
+}
+
+// UpdateCapability replaces one proxy's installed services and re-converges
+// the engine's routing state, invalidating every cached route that depends
+// on the proxy's cluster. Resolutions in flight either complete against the
+// old state (and their cache entries are invalidated here) or observe the
+// new state in full — never a mix.
+func (e *Engine) UpdateCapability(node int, set svc.CapabilitySet) error {
+	if node < 0 || node >= e.topo.N() {
+		return fmt.Errorf("serve: node %d out of range [0,%d)", node, e.topo.N())
+	}
+	if set == nil {
+		return errors.New("serve: nil capability set")
+	}
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	old := e.caps[node]
+	e.caps[node] = set.Clone()
+	fresh, _, err := state.Distribute(e.topo, e.caps)
+	if err != nil {
+		e.caps[node] = old
+		return fmt.Errorf("serve: re-converge after capability update: %w", err)
+	}
+	copy(e.states, fresh)
+	// Version bump after the state swap: a resolution admitted after this
+	// line computes on the new states; one admitted before is either fully
+	// finished (its cache entry invalidated by this advance if it depends
+	// on the cluster) or blocked on the read lock and will see the new
+	// states in full.
+	e.cache.AdvanceRound(e.topo.ClusterOf(node))
+	return nil
+}
+
+// InvalidateCluster drops every cached route depending on one cluster and
+// forces provider-index rebuilds, as after an external state change in that
+// cluster.
+func (e *Engine) InvalidateCluster(cluster int) {
+	e.cache.AdvanceRound(cluster)
+}
+
+// InvalidateAll drops every cached route and forces provider-index
+// rebuilds, as after a full state-distribution round.
+func (e *Engine) InvalidateAll() {
+	e.cache.AdvanceAll()
+}
+
+// Capabilities returns a snapshot (deep copy) of the current deployments.
+func (e *Engine) Capabilities() []svc.CapabilitySet {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	out := make([]svc.CapabilitySet, len(e.caps))
+	for i, c := range e.caps {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Topology exposes the engine's HFC topology.
+func (e *Engine) Topology() *hfc.Topology { return e.topo }
+
+// Stats snapshots the serving counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Cache:       e.cache.Stats(),
+		Resolutions: e.resolutions.Load(),
+		Deduped:     e.deduped.Load(),
+	}
+}

@@ -2,7 +2,7 @@ package svc
 
 import (
 	"fmt"
-	"hash/fnv"
+	"strconv"
 	"strings"
 )
 
@@ -12,25 +12,46 @@ import (
 // edges exist), two graphs share a Canonical form iff they have identical
 // vertex and edge lists, which is what cache keys need.
 func (g *Graph) Canonical() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 16*len(g.Services)+8*len(g.Edges)+1)
 	for _, s := range g.Services {
-		fmt.Fprintf(&b, "%d:%s;", len(s), s)
+		buf = strconv.AppendInt(buf, int64(len(s)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, s...)
+		buf = append(buf, ';')
 	}
-	b.WriteByte('|')
+	buf = append(buf, '|')
 	for _, e := range g.Edges {
-		fmt.Fprintf(&b, "%d>%d;", e[0], e[1])
+		buf = strconv.AppendInt(buf, int64(e[0]), 10)
+		buf = append(buf, '>')
+		buf = strconv.AppendInt(buf, int64(e[1]), 10)
+		buf = append(buf, ';')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // Fingerprint hashes the canonical form (FNV-1a, 64-bit) into a compact
 // cache-key component. Collisions are possible in principle; consumers must
 // fall back to comparing Canonical strings before trusting a match.
 func (g *Graph) Fingerprint() uint64 {
-	h := fnv.New64a()
-	//hfcvet:ignore errsweep fnv hash Write never returns an error
-	h.Write([]byte(g.Canonical()))
-	return h.Sum64()
+	return FingerprintCanonical(g.Canonical())
+}
+
+// FingerprintCanonical hashes an already-rendered Canonical form. Callers on
+// a hot path that need both the canonical string and the fingerprint (the
+// serving engine's cache key) render once and hash here instead of paying
+// for a second render inside Fingerprint.
+func FingerprintCanonical(canonical string) uint64 {
+	// Inline FNV-1a 64 (hash/fnv's New64a parameters), allocation-free.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(canonical); i++ {
+		h ^= uint64(canonical[i])
+		h *= prime64
+	}
+	return h
 }
 
 // ParseGraph parses the String rendering of a service graph back into a
