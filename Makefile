@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-full bench-compare fmt
+.PHONY: all build test race lint bench bench-full bench-compare bench-scale fmt
 
 # Output snapshot for the regression-gate benchmarks (see cmd/benchgate).
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
 all: build test lint
 
@@ -41,6 +41,12 @@ bench-compare:
 # bench-full runs the whole paper-reproduction benchmark suite.
 bench-full:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-scale is the large-n construction smoke: one n=32k overlay built
+# end-to-end through the geometric engine (no dense matrix) under a
+# wall-clock budget. See DESIGN.md "The geometric engine".
+bench-scale:
+	HFC_BENCH_SCALE=1 $(GO) test -run TestScaleSmoke -v ./internal/experiments/
 
 fmt:
 	gofmt -l -w $$(git ls-files '*.go' | grep -v '^vendor/')

@@ -19,6 +19,7 @@ import (
 	"hfc/internal/coords"
 	"hfc/internal/env"
 	"hfc/internal/experiments"
+	"hfc/internal/geo"
 	"hfc/internal/hfc"
 	"hfc/internal/overlay"
 	"hfc/internal/routing"
@@ -679,3 +680,170 @@ func BenchmarkOverlayProtocolRound(b *testing.B) {
 		sys.Quiesce()
 	}
 }
+
+// ---- Geometric-engine benchmarks ----
+//
+// The Indexed gates exercise the internal/geo spatial-index construction
+// paths; their Brute counterparts (not gates — they exist as the speedup
+// baseline recorded alongside the gates in BENCH_pr5.json) run the same
+// work through the O(n²) scans.
+
+// geoBenchPoints builds the shared n-point, 8-blob fixture for the
+// geometry benches (same shape as BenchmarkZahnClustering, bigger n).
+func geoBenchPoints(n int) []coords.Point {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]coords.Point, n)
+	for i := range pts {
+		c := i % 8
+		pts[i] = coords.Point{float64(c%4)*200 + rng.Float64()*30, float64(c/4)*200 + rng.Float64()*30}
+	}
+	return pts
+}
+
+func benchZahnCluster(b *testing.B, n int, strat geo.Strategy) {
+	pts := geoBenchPoints(n)
+	dist := func(i, j int) float64 { return coords.Dist(pts[i], pts[j]) }
+	cfg := cluster.DefaultConfig()
+	cfg.Index = strat
+	if strat != geo.Brute {
+		cfg.Points = pts
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Cluster(n, dist, cfg); err != nil {
+			b.Fatalf("Cluster: %v", err)
+		}
+	}
+}
+
+// BenchmarkGateZahnClusterIndexed measures §3.2 Zahn clustering through the
+// k-d-tree Borůvka MST at n=4096.
+func BenchmarkGateZahnClusterIndexed(b *testing.B) { benchZahnCluster(b, 4096, geo.KDTree) }
+
+// BenchmarkZahnClusterBrute is the complete-graph Prim baseline for the
+// indexed gate above.
+func BenchmarkZahnClusterBrute(b *testing.B) { benchZahnCluster(b, 4096, geo.Brute) }
+
+// borderBenchInstance builds an n-node, k-cluster instance for the border
+// election benches.
+func borderBenchInstance(b *testing.B, n, k int) (*coords.Map, *cluster.Result) {
+	b.Helper()
+	pts := geoBenchPoints(n)
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		b.Fatalf("NewMap: %v", err)
+	}
+	res := &cluster.Result{Assignment: make([]int, n), Clusters: make([][]int, k)}
+	for i := 0; i < n; i++ {
+		c := i % k
+		res.Assignment[i] = c
+		res.Clusters[c] = append(res.Clusters[c], i)
+	}
+	return cmap, res
+}
+
+func benchBorderElection(b *testing.B, indexed bool) {
+	cmap, clustering := borderBenchInstance(b, 4096, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if indexed {
+			_, err = hfc.Build(cmap, clustering)
+		} else {
+			_, err = hfc.BuildWithSelector(cmap, clustering, hfc.ClosestPairSelector())
+		}
+		if err != nil {
+			b.Fatalf("build: %v", err)
+		}
+	}
+}
+
+// BenchmarkGateBorderElectionIndexed measures the full §3.3 border + backup
+// elections through the per-cluster geo indexes at n=4096.
+func BenchmarkGateBorderElectionIndexed(b *testing.B) { benchBorderElection(b, true) }
+
+// BenchmarkBorderElectionBrute is the O(|A|·|B|)-per-pair baseline for the
+// indexed gate above.
+func BenchmarkBorderElectionBrute(b *testing.B) { benchBorderElection(b, false) }
+
+// BenchmarkGateGeoKNN measures k-NN queries against a 4096-point k-d tree
+// (k=8), the primitive the construction paths lean on.
+func BenchmarkGateGeoKNN(b *testing.B) {
+	pts := geoBenchPoints(4096)
+	idx, err := geo.NewIndex(pts, nil, geo.KDTree)
+	if err != nil {
+		b.Fatalf("NewIndex: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nbs := idx.KNN(pts[i%len(pts)], 8, nil); len(nbs) != 8 {
+			b.Fatalf("KNN returned %d neighbours", len(nbs))
+		}
+	}
+}
+
+// BenchmarkClusterMergeSmall measures clustering dominated by the
+// small-cluster merge loop (satellite regression bench: the merge reuses
+// one geo index across rounds instead of rescanning all pairs).
+func BenchmarkClusterMergeSmall(b *testing.B) {
+	const n = 2048
+	pts := geoBenchPoints(n)
+	dist := func(i, j int) float64 { return coords.Dist(pts[i], pts[j]) }
+	for _, tc := range []struct {
+		name  string
+		strat geo.Strategy
+	}{{"indexed", geo.KDTree}, {"brute", geo.Brute}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := cluster.DefaultConfig()
+			cfg.MinClusterSize = 24
+			cfg.Index = tc.strat
+			if tc.strat != geo.Brute {
+				cfg.Points = pts
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Cluster(n, dist, cfg); err != nil {
+					b.Fatalf("Cluster: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// scaleSpec is a 2048-proxy environment for the serial/parallel build-gap
+// measurement (not a gate: one build takes seconds).
+func scaleSpec(workers int) env.Spec {
+	return env.Spec{
+		PhysicalNodes: 3000,
+		Landmarks:     12,
+		Proxies:       2048,
+		Clients:       50,
+		MinServices:   4,
+		MaxServices:   10,
+		MinRequestLen: 4,
+		MaxRequestLen: 10,
+		CatalogSize:   40,
+		CoordDim:      2,
+		Probes:        3,
+		Workers:       workers,
+		Seed:          42,
+	}
+}
+
+func benchEnvBuild2048(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		spec := scaleSpec(workers)
+		spec.Seed += int64(i)
+		if _, err := env.Build(spec); err != nil {
+			b.Fatalf("Build: %v", err)
+		}
+	}
+}
+
+// BenchmarkEnvBuild2048Serial measures a 2048-proxy environment build on
+// one worker; its ratio against BenchmarkEnvBuild2048Parallel is the
+// parallel speedup DESIGN.md §10 documents.
+func BenchmarkEnvBuild2048Serial(b *testing.B) { benchEnvBuild2048(b, 0) }
+
+// BenchmarkEnvBuild2048Parallel is the all-cores counterpart.
+func BenchmarkEnvBuild2048Parallel(b *testing.B) { benchEnvBuild2048(b, -1) }

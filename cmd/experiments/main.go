@@ -9,8 +9,10 @@
 //	experiments -run ablation-k,ablation-relax
 //
 // Runs: table1, fig9a, fig9b, fig10, messages, qos, multilevel,
-// convergence, faults, serve, ablation-k, ablation-dim, ablation-relax,
-// ablation-border, ablation-landmarks, ablation-churn.
+// convergence, faults, serve, scale, ablation-k, ablation-dim,
+// ablation-relax, ablation-border, ablation-landmarks, ablation-churn.
+// `scale` sweeps overlay construction over the spatial-index engine at
+// n=1k/8k (plus 32k and 100k with -full).
 //
 // -cpuprofile/-memprofile write runtime/pprof profiles, flushed on clean
 // shutdown.
@@ -37,7 +39,7 @@ func main() {
 }
 
 func run() error {
-	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, serve, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
+	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, serve, scale, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	full := flag.Bool("full", false, "paper-scale sample sizes (5 trials, 1000 requests; takes minutes)")
 	trials := flag.Int("trials", 0, "override trial count")
@@ -312,6 +314,22 @@ func run() error {
 				return err
 			}
 			fmt.Print(experiments.FormatAblationChurn(rows))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if section("scale") {
+		if err := timed("scale", func() error {
+			sizes := []int{1000, 8000}
+			if *full {
+				sizes = []int{1000, 8000, 32000, 100000}
+			}
+			rows, err := experiments.RunScale(*seed, sizes)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatScale(rows))
 			return nil
 		}); err != nil {
 			return err

@@ -13,6 +13,8 @@ import (
 	"math"
 	"sort"
 
+	"hfc/internal/coords"
+	"hfc/internal/geo"
 	"hfc/internal/graph"
 )
 
@@ -76,7 +78,23 @@ type Config struct {
 	// degenerate clusters untreated; this knob exists for the robustness
 	// ablation and defaults to 1 (disabled).
 	MinClusterSize int
+	// Points, when set, are the embedded coordinates behind dist, aligned
+	// by node index: dist(i, j) must equal coords.Dist(Points[i],
+	// Points[j]). Supplying them enables the sub-quadratic geometric
+	// engine (internal/geo) for the MST and small-cluster merging; the
+	// result is identical to the brute-force scans either way.
+	Points []coords.Point
+	// Index selects the geometric engine strategy. The zero value
+	// (geo.Auto) uses the k-d engine when Points are present, finite, and
+	// the node set is large enough to amortize tree construction, falling
+	// back to the O(n²) scans otherwise; geo.Brute forces the scans; an
+	// explicit geo.KDTree or geo.Grid requires Points.
+	Index geo.Strategy
 }
+
+// indexAutoMinN is the node count at which geo.Auto switches Cluster onto
+// the geometric engine; below it the dense Prim scan is at least as fast.
+const indexAutoMinN = 512
 
 // DefaultConfig returns the configuration used throughout the reproduction.
 func DefaultConfig() Config {
@@ -153,8 +171,20 @@ func Cluster(n int, dist func(i, j int) float64, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	useGeo, err := cfg.useGeoEngine(n)
+	if err != nil {
+		return nil, err
+	}
 
-	mst, err := graph.EuclideanMST(n, dist)
+	// Both paths yield the unique MST under the (weight, lo, hi) tuple
+	// order, canonicalized so geo-backed and brute-force runs DeepEqual.
+	var mst []graph.Edge
+	if useGeo {
+		mst, err = geo.MST(cfg.Points, cfg.Index)
+	} else {
+		mst, err = graph.EuclideanMST(n, dist)
+		graph.CanonicalizeEdges(mst)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building mst: %w", err)
 	}
@@ -176,9 +206,40 @@ func Cluster(n int, dist func(i, j int) float64, cfg Config) (*Result, error) {
 	res.Assignment, res.Clusters = componentsToClusters(n, uf)
 
 	if cfg.MinClusterSize > 1 {
-		mergeSmallClusters(res, dist, cfg.MinClusterSize)
+		// The merge rounds reuse one index over the full (static) node
+		// set: cluster membership changes between rounds, but the node
+		// set does not, so per-round skip filters are enough.
+		var idx geo.Index
+		if useGeo {
+			idx, err = geo.NewIndex(cfg.Points, nil, cfg.Index)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: merge index: %w", err)
+			}
+		}
+		mergeSmallClusters(res, dist, cfg.MinClusterSize, cfg.Points, idx)
 	}
 	return res, nil
+}
+
+// useGeoEngine decides whether Cluster runs on the geometric engine.
+// Explicit indexed strategies require Points; geo.Auto silently falls back
+// to the brute scans when Points are absent, non-finite, or the node set
+// is too small to benefit.
+func (c Config) useGeoEngine(n int) (bool, error) {
+	switch {
+	case c.Index == geo.Brute:
+		return false, nil
+	case c.Points == nil:
+		if c.Index == geo.Auto {
+			return false, nil
+		}
+		return false, fmt.Errorf("cluster: strategy %v requires Config.Points", c.Index)
+	case len(c.Points) != n:
+		return false, fmt.Errorf("cluster: %d points for %d nodes", len(c.Points), n)
+	case c.Index == geo.Auto && (n < indexAutoMinN || !geo.Finite(c.Points)):
+		return false, nil
+	}
+	return true, nil
 }
 
 func edgeKey(e graph.Edge) [2]int {
@@ -335,8 +396,15 @@ func componentsToClusters(n int, uf *graph.UnionFind) ([]int, [][]int) {
 
 // mergeSmallClusters folds clusters below minSize into the cluster of their
 // nearest outside node (single-linkage), repeating until no undersized
-// cluster remains or only one cluster is left.
-func mergeSmallClusters(res *Result, dist func(i, j int) float64, minSize int) {
+// cluster remains or only one cluster is left. The nearest outside node is
+// chosen under the canonical (distance, small member u, outside node v)
+// order — scanning u and v in ascending node order with a strict < makes
+// ties resolve to exactly that tuple minimum, and the geo-indexed path
+// reproduces it query for query. idx, when non-nil, is an index over the
+// full node set (pts aligned with dist).
+func mergeSmallClusters(res *Result, dist func(i, j int) float64, minSize int, pts []coords.Point, idx geo.Index) {
+	n := len(res.Assignment)
+	inSmall := make([]bool, n)
 	for len(res.Clusters) > 1 {
 		smallID := -1
 		for id, members := range res.Clusters {
@@ -351,18 +419,37 @@ func mergeSmallClusters(res *Result, dist func(i, j int) float64, minSize int) {
 		// Find nearest outside node over all members of the small cluster.
 		bestDist := math.Inf(1)
 		bestCluster := -1
-		for _, u := range res.Clusters[smallID] {
-			for id, members := range res.Clusters {
-				if id == smallID {
-					continue
+		small := res.Clusters[smallID]
+		for _, u := range small {
+			inSmall[u] = true
+		}
+		if idx != nil {
+			skip := func(v int) bool { return inSmall[v] }
+			for _, u := range small {
+				// The incumbent distance bounds the query; a returned
+				// candidate below it is necessarily the exact per-u
+				// minimum, so the strict merge reproduces the brute scan.
+				nb, ok := idx.NearestBounded(pts[u], bestDist, skip)
+				if ok && nb.Dist < bestDist {
+					bestDist = nb.Dist
+					bestCluster = res.Assignment[nb.Idx]
 				}
-				for _, v := range members {
+			}
+		} else {
+			for _, u := range small {
+				for v := 0; v < n; v++ {
+					if inSmall[v] {
+						continue
+					}
 					if d := dist(u, v); d < bestDist {
 						bestDist = d
-						bestCluster = id
+						bestCluster = res.Assignment[v]
 					}
 				}
 			}
+		}
+		for _, u := range small {
+			inSmall[u] = false
 		}
 		merged := append(res.Clusters[smallID], res.Clusters[bestCluster]...)
 		sort.Ints(merged)

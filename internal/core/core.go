@@ -20,7 +20,6 @@ import (
 	"hfc/internal/cluster"
 	"hfc/internal/coords"
 	"hfc/internal/hfc"
-	"hfc/internal/par"
 	"hfc/internal/routing"
 	"hfc/internal/serve"
 	"hfc/internal/state"
@@ -58,6 +57,13 @@ type Config struct {
 	// CacheShards overrides the serving engine's route-cache shard count
 	// (0 selects routing.DefaultCacheShards). Ignored without ServeEngine.
 	CacheShards int
+	// DenseMatrix materializes the full O(n²) pairwise-distance matrix and
+	// serves clustering distances from it, as pre-geo builds did. The
+	// spatial-index construction path never needs it; enable only when the
+	// memory trade is worthwhile (small overlays with heavy repeated
+	// dist(i,j) churn, APSP/mesh experiments). Values are identical to
+	// coords.Dist, so the built framework is unchanged either way.
+	DenseMatrix bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,15 +113,21 @@ func Bootstrap(rng *rand.Rand, m coords.Measurer, landmarks, proxies []int, caps
 	if err != nil {
 		return nil, fmt.Errorf("core: distance map: %w", err)
 	}
-	// With a pool available, trade memory for the repeated distance
-	// evaluations clustering performs: the precomputed matrix holds the
-	// exact same values Dist returns, so the clustering is unchanged.
+	// Clustering runs on the geo engine (cfg.Cluster.Points) by default, so
+	// no O(n²) matrix is ever materialized; DenseMatrix restores the eager
+	// matrix for callers that want clustering's residual brute distance
+	// evaluations served from memory. Both paths read the exact values
+	// cmap.Dist returns, so the clustering is unchanged either way.
 	dist := cmap.Dist
-	if par.Workers(cfg.Workers) > 1 {
+	if cfg.DenseMatrix {
 		matrix := cmap.DistMatrix(cfg.Workers)
 		dist = func(i, j int) float64 { return matrix[i][j] }
 	}
-	clustering, err := cluster.Cluster(cmap.N(), dist, cfg.Cluster)
+	clusterCfg := cfg.Cluster
+	if clusterCfg.Points == nil {
+		clusterCfg.Points = cmap.Points
+	}
+	clustering, err := cluster.Cluster(cmap.N(), dist, clusterCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}

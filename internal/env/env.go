@@ -62,6 +62,10 @@ type Spec struct {
 	// CacheShards overrides the serving engine's cache shard count (0 =
 	// default).
 	CacheShards int
+	// DenseMatrix materializes the O(n²) pairwise-distance matrix during
+	// bootstrap (see core.Config.DenseMatrix); the default geo-indexed
+	// build never needs it.
+	DenseMatrix bool
 	// Seed drives all randomness in the build.
 	Seed int64
 }
@@ -219,6 +223,7 @@ func Build(spec Spec) (*Environment, error) {
 		CacheRoutes: spec.CacheRoutes,
 		ServeEngine: spec.ServeEngine,
 		CacheShards: spec.CacheShards,
+		DenseMatrix: spec.DenseMatrix,
 	}
 	if spec.InconsistencyK != 0 {
 		coreCfg.Cluster.InconsistencyFactor = spec.InconsistencyK

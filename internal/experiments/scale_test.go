@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScaleSmall runs the sweep at sizes small enough for the test suite
+// and checks the rows and the rendered table are coherent.
+func TestScaleSmall(t *testing.T) {
+	rows, err := RunScale(7, []int{400, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Clusters < 1 {
+			t.Fatalf("n=%d: %d clusters", r.N, r.Clusters)
+		}
+		if r.ClusterTime <= 0 || r.BorderTime <= 0 {
+			t.Fatalf("n=%d: non-positive timings %v/%v", r.N, r.ClusterTime, r.BorderTime)
+		}
+	}
+	out := FormatScale(rows)
+	if !strings.Contains(out, "| 400 |") || !strings.Contains(out, "| 900 |") {
+		t.Fatalf("table missing size rows:\n%s", out)
+	}
+}
+
+func TestScaleRejectsBadInput(t *testing.T) {
+	if _, err := RunScale(1, nil); err == nil {
+		t.Fatal("expected error for empty size list")
+	}
+	if _, err := RunScale(1, []int{0}); err == nil {
+		t.Fatal("expected error for size < 2")
+	}
+}
+
+// TestScaleSmoke is the `make bench-scale` CI smoke: a single n=32k
+// end-to-end construction through the geometric engine with no dense
+// matrix, under a generous wall-clock budget. Gated behind HFC_BENCH_SCALE
+// so the ordinary test run stays fast.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("HFC_BENCH_SCALE") == "" {
+		t.Skip("set HFC_BENCH_SCALE=1 to run the 32k construction smoke")
+	}
+	rows, err := RunScale(42, []int{32000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	t.Logf("n=%d clusters=%d cluster=%v border=%v total=%v",
+		r.N, r.Clusters, r.ClusterTime, r.BorderTime, r.Total())
+	if budget := 5 * time.Minute; r.Total() > budget {
+		t.Fatalf("32k construction took %v, budget %v — sub-quadratic path regressed", r.Total(), budget)
+	}
+}

@@ -1,0 +1,60 @@
+package geo
+
+import (
+	"math"
+
+	"hfc/internal/coords"
+)
+
+// bruteIndex is the linear-scan reference implementation: the canonical
+// semantics every accelerated strategy must reproduce exactly.
+type bruteIndex struct {
+	pts     []coords.Point
+	members []int // ascending
+}
+
+func (b *bruteIndex) Size() int { return len(b.members) }
+
+func (b *bruteIndex) Nearest(q coords.Point, skip func(int) bool) (Neighbor, bool) {
+	best := Neighbor{Idx: -1, Dist: math.Inf(1)}
+	for _, j := range b.members {
+		if skip != nil && skip(j) {
+			continue
+		}
+		if d := coords.Dist(q, b.pts[j]); neighborLess(d, j, best.Dist, best.Idx) {
+			best = Neighbor{Idx: j, Dist: d}
+		}
+	}
+	return best, best.Idx >= 0
+}
+
+func (b *bruteIndex) NearestBounded(q coords.Point, bound float64, skip func(int) bool) (Neighbor, bool) {
+	return b.Nearest(q, skip) // the scan is already exact for any bound
+}
+
+func (b *bruteIndex) KNN(q coords.Point, k int, skip func(int) bool) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	acc := &knnAcc{k: k}
+	for _, j := range b.members {
+		if skip != nil && skip(j) {
+			continue
+		}
+		acc.consider(j, coords.Dist(q, b.pts[j]))
+	}
+	return acc.out
+}
+
+func (b *bruteIndex) RangeSearch(q coords.Point, r float64) []int {
+	if r < 0 {
+		return nil
+	}
+	var out []int
+	for _, j := range b.members {
+		if coords.Dist(q, b.pts[j]) <= r {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package geo
+
+import (
+	"math"
+	"sort"
+
+	"hfc/internal/coords"
+)
+
+// maxCellsPerAxis caps the grid resolution so degenerate extents cannot
+// explode the cell key space.
+const maxCellsPerAxis = 1 << 10
+
+// gridIndex is a uniform grid over a member subset: cells hold member
+// lists (ascending), and queries ring-search outward from the query cell.
+// It answers every query with the same canonical (Dist, Idx) order as the
+// brute scan. Immutable after construction; safe for concurrent readers.
+type gridIndex struct {
+	pts      []coords.Point
+	dim      int
+	members  []int // ascending
+	min      []float64
+	cellSize []float64
+	cellsPer []int
+	stride   []int
+	cells    map[int][]int
+	// minSide is the smallest cell side among axes with more than one
+	// cell; rings further than (ρ-1)·minSide from the query cell cannot
+	// beat a bound below that, which terminates the outward search.
+	minSide float64
+	// maxOffset bounds the ring radius: past it every cell is out of the
+	// grid on all axes.
+	maxOffset int
+}
+
+func newGridIndex(pts []coords.Point, members []int, dim int) *gridIndex {
+	g := &gridIndex{pts: pts, dim: dim, members: members}
+	g.min = make([]float64, dim)
+	max := make([]float64, dim)
+	copy(g.min, pts[members[0]])
+	copy(max, pts[members[0]])
+	for _, j := range members[1:] {
+		p := pts[j]
+		for a := 0; a < dim; a++ {
+			if p[a] < g.min[a] {
+				g.min[a] = p[a]
+			}
+			if p[a] > max[a] {
+				max[a] = p[a]
+			}
+		}
+	}
+	// Aim for ~1 member per cell: n^(1/dim) cells per axis.
+	per := int(math.Ceil(math.Pow(float64(len(members)), 1/float64(dim))))
+	if per < 1 {
+		per = 1
+	}
+	if per > maxCellsPerAxis {
+		per = maxCellsPerAxis
+	}
+	g.cellsPer = make([]int, dim)
+	g.cellSize = make([]float64, dim)
+	g.stride = make([]int, dim)
+	g.minSide = math.Inf(1)
+	stride := 1
+	for a := 0; a < dim; a++ {
+		extent := max[a] - g.min[a]
+		if extent > 0 {
+			g.cellsPer[a] = per
+			g.cellSize[a] = extent / float64(per)
+			if g.cellSize[a] < g.minSide {
+				g.minSide = g.cellSize[a]
+			}
+		} else {
+			g.cellsPer[a] = 1
+			g.cellSize[a] = 1
+		}
+		g.stride[a] = stride
+		stride *= g.cellsPer[a]
+		if g.cellsPer[a]-1 > g.maxOffset {
+			g.maxOffset = g.cellsPer[a] - 1
+		}
+	}
+	g.cells = make(map[int][]int)
+	for _, j := range members { // ascending members keep cell lists sorted
+		key := g.key(g.cellOf(pts[j]))
+		g.cells[key] = append(g.cells[key], j)
+	}
+	return g
+}
+
+// clampCell clamps a raw cell coordinate into [0, per).
+func clampCell(v, per int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= per {
+		return per - 1
+	}
+	return v
+}
+
+// cellOf returns the (clamped) integer cell coordinates of a point.
+func (g *gridIndex) cellOf(p coords.Point) []int {
+	c := make([]int, g.dim)
+	for a := 0; a < g.dim; a++ {
+		v := int(math.Floor((p[a] - g.min[a]) / g.cellSize[a]))
+		if v < 0 {
+			v = 0
+		}
+		if v >= g.cellsPer[a] {
+			v = g.cellsPer[a] - 1
+		}
+		c[a] = v
+	}
+	return c
+}
+
+func (g *gridIndex) key(c []int) int {
+	k := 0
+	for a, v := range c {
+		k += v * g.stride[a]
+	}
+	return k
+}
+
+// cellBoundSq lower-bounds the squared distance from q to cell c's box.
+func (g *gridIndex) cellBoundSq(q coords.Point, c []int) float64 {
+	sum := 0.0
+	for a := 0; a < g.dim; a++ {
+		lo := g.min[a] + float64(c[a])*g.cellSize[a]
+		hi := lo + g.cellSize[a]
+		if d := lo - q[a]; d > 0 {
+			sum += d * d
+		} else if d := q[a] - hi; d > 0 {
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// forRing visits every in-grid cell at Chebyshev distance ring from center
+// in deterministic odometer order.
+func (g *gridIndex) forRing(center []int, ring int, visit func(c []int)) {
+	c := make([]int, g.dim)
+	var walk func(axis int, onShell bool)
+	walk = func(axis int, onShell bool) {
+		if axis == g.dim {
+			if onShell {
+				visit(c)
+			}
+			return
+		}
+		for off := -ring; off <= ring; off++ {
+			v := center[axis] + off
+			if v < 0 || v >= g.cellsPer[axis] {
+				continue
+			}
+			c[axis] = v
+			walk(axis+1, onShell || off == -ring || off == ring)
+		}
+	}
+	walk(0, ring == 0)
+}
+
+func (g *gridIndex) Size() int { return len(g.members) }
+
+func (g *gridIndex) Nearest(q coords.Point, skip func(int) bool) (Neighbor, bool) {
+	return g.NearestBounded(q, math.Inf(1), skip)
+}
+
+func (g *gridIndex) NearestBounded(q coords.Point, bound float64, skip func(int) bool) (Neighbor, bool) {
+	capSq := sqBound(bound)
+	best := Neighbor{Idx: -1, Dist: math.Inf(1)}
+	center := g.cellOf(q)
+	for ring := 0; ring <= g.maxOffset; ring++ {
+		limit := capSq
+		if bsq := sqBound(best.Dist); bsq < limit {
+			limit = bsq
+		}
+		// Any cell at Chebyshev distance ring is at least (ring-1) whole
+		// cells away along some axis.
+		if ring > 0 {
+			lb := float64(ring-1) * g.minSide
+			if lb*lb > limit*(1+pruneSlack) {
+				break
+			}
+		}
+		g.forRing(center, ring, func(c []int) {
+			limit := capSq
+			if bsq := sqBound(best.Dist); bsq < limit {
+				limit = bsq
+			}
+			if g.cellBoundSq(q, c) > limit*(1+pruneSlack) {
+				return
+			}
+			for _, j := range g.cells[g.key(c)] {
+				if skip != nil && skip(j) {
+					continue
+				}
+				if d := coords.Dist(q, g.pts[j]); neighborLess(d, j, best.Dist, best.Idx) {
+					best = Neighbor{Idx: j, Dist: d}
+				}
+			}
+		})
+	}
+	return best, best.Idx >= 0
+}
+
+func (g *gridIndex) KNN(q coords.Point, k int, skip func(int) bool) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	acc := &knnAcc{k: k}
+	center := g.cellOf(q)
+	for ring := 0; ring <= g.maxOffset; ring++ {
+		if ring > 0 {
+			lb := float64(ring-1) * g.minSide
+			if lb*lb > acc.limitSq()*(1+pruneSlack) {
+				break
+			}
+		}
+		g.forRing(center, ring, func(c []int) {
+			if g.cellBoundSq(q, c) > acc.limitSq()*(1+pruneSlack) {
+				return
+			}
+			for _, j := range g.cells[g.key(c)] {
+				if skip != nil && skip(j) {
+					continue
+				}
+				acc.consider(j, coords.Dist(q, g.pts[j]))
+			}
+		})
+	}
+	return acc.out
+}
+
+func (g *gridIndex) RangeSearch(q coords.Point, r float64) []int {
+	if r < 0 {
+		return nil
+	}
+	rSq := sqBound(r)
+	var out []int
+	c := make([]int, g.dim)
+	lo := make([]int, g.dim)
+	hi := make([]int, g.dim)
+	for a := 0; a < g.dim; a++ {
+		// Clamp both ends into the valid cell range: members beyond the
+		// nominal grid edges live in the boundary cells (cellOf clamps), so
+		// a query box outside the grid must still scan them — the exact
+		// distance filter below rejects any false candidates.
+		lo[a] = clampCell(int(math.Floor((q[a]-r-g.min[a])/g.cellSize[a])), g.cellsPer[a])
+		hi[a] = clampCell(int(math.Floor((q[a]+r-g.min[a])/g.cellSize[a])), g.cellsPer[a])
+	}
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == g.dim {
+			if g.cellBoundSq(q, c) > rSq*(1+pruneSlack) {
+				return
+			}
+			for _, j := range g.cells[g.key(c)] {
+				if coords.Dist(q, g.pts[j]) <= r {
+					out = append(out, j)
+				}
+			}
+			return
+		}
+		for v := lo[axis]; v <= hi[axis]; v++ {
+			c[axis] = v
+			walk(axis + 1)
+		}
+	}
+	walk(0)
+	sort.Ints(out)
+	return out
+}

@@ -150,10 +150,58 @@ func (g *Graph) MSTPrim() ([]Edge, error) {
 	return tree, nil
 }
 
+// EdgeLess is the canonical total order on oriented edges (From < To):
+// ascending Weight, then From, then To. Exact weight ties fall back to the
+// endpoint tuple, so sorting by EdgeLess is deterministic and — because a
+// total order makes the minimum spanning tree unique — every MST algorithm
+// honouring it (the dense Prim scan here, Kruskal, internal/geo's Borůvka
+// rounds) produces the same edge set.
+func EdgeLess(a, b Edge) bool {
+	//hfcvet:ignore floatdist exact-weight ties fall back to the endpoint tuple for a deterministic order
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+// CanonicalizeEdges rewrites an undirected edge list into canonical form
+// in place: each edge oriented From < To, then sorted by EdgeLess. Two
+// MSTs of the same point set under the tuple order canonicalize to deeply
+// equal slices regardless of which algorithm built them.
+func CanonicalizeEdges(edges []Edge) {
+	for i, e := range edges {
+		if e.From > e.To {
+			edges[i].From, edges[i].To = e.To, e.From
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return EdgeLess(edges[i], edges[j]) })
+}
+
+// tupleLess reports whether candidate edge {u1, v1, w1} precedes
+// {u2, v2, w2} under the unordered-endpoint form of the EdgeLess total
+// order.
+func tupleLess(w1 float64, u1, v1 int, w2 float64, u2, v2 int) bool {
+	if u1 > v1 {
+		u1, v1 = v1, u1
+	}
+	if u2 > v2 {
+		u2, v2 = v2, u2
+	}
+	return EdgeLess(Edge{From: u1, To: v1, Weight: w1}, Edge{From: u2, To: v2, Weight: w2})
+}
+
 // EuclideanMST computes the minimum spanning tree of a complete graph over
 // points whose pairwise distances are given by dist. It uses the dense
 // O(n²) Prim variant, which is optimal for complete graphs, and returns the
 // n-1 tree edges. dist must be symmetric and non-negative.
+//
+// All comparisons use the (weight, lo endpoint, hi endpoint) tuple order,
+// under which the MST is unique: exact distance ties (duplicate or
+// symmetric point sets) cannot make the result depend on scan order, and
+// the indexed geo.MST produces the identical edge set.
 func EuclideanMST(n int, dist func(i, j int) float64) ([]Edge, error) {
 	if n <= 0 {
 		return nil, errors.New("graph: euclidean mst of empty point set")
@@ -171,7 +219,8 @@ func EuclideanMST(n int, dist func(i, j int) float64) ([]Edge, error) {
 	for iter := 1; iter < n; iter++ {
 		next := unseen
 		for v := 0; v < n; v++ {
-			if !inTree[v] && (next == unseen || best[v] < best[next]) {
+			if !inTree[v] && (next == unseen ||
+				tupleLess(best[v], bestFrom[v], v, best[next], bestFrom[next], next)) {
 				next = v
 			}
 		}
@@ -182,7 +231,7 @@ func EuclideanMST(n int, dist func(i, j int) float64) ([]Edge, error) {
 		tree = append(tree, Edge{From: bestFrom[next], To: next, Weight: best[next]})
 		for v := 0; v < n; v++ {
 			if !inTree[v] {
-				if d := dist(next, v); d < best[v] {
+				if d := dist(next, v); tupleLess(d, next, v, best[v], bestFrom[v], v) {
 					best[v] = d
 					bestFrom[v] = next
 				}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -248,5 +249,64 @@ func TestEuclideanMSTCutProperty(t *testing.T) {
 		if tree[cut].Weight > best+1e-9 {
 			t.Fatalf("tree edge %v weight %v exceeds min cut weight %v", tree[cut], tree[cut].Weight, best)
 		}
+	}
+}
+
+func TestEuclideanMSTCanonicalEdgeSet(t *testing.T) {
+	// Under the (weight, lo, hi) tuple order the MST is unique, so the dense
+	// Prim scan and Kruskal must agree on the exact edge set — including on
+	// tie-heavy integer lattices with duplicated points, where a weight-only
+	// comparison would leave the tree scan-order dependent.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		pts := make([][2]float64, n)
+		for i := range pts {
+			pts[i] = [2]float64{float64(rng.Intn(5)), float64(rng.Intn(5))}
+		}
+		dist := func(i, j int) float64 {
+			dx := pts[i][0] - pts[j][0]
+			dy := pts[i][1] - pts[j][1]
+			return math.Hypot(dx, dy)
+		}
+		tree, err := EuclideanMST(n, dist)
+		if err != nil {
+			t.Fatalf("trial %d: EuclideanMST: %v", trial, err)
+		}
+		g := New(n, false)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				mustAdd(t, g, i, j, dist(i, j))
+			}
+		}
+		want, err := g.MSTKruskal()
+		if err != nil {
+			t.Fatalf("trial %d: kruskal: %v", trial, err)
+		}
+		CanonicalizeEdges(tree)
+		CanonicalizeEdges(want)
+		if !reflect.DeepEqual(tree, want) {
+			t.Fatalf("trial %d (n=%d): canonical edge sets differ\n prim    %v\n kruskal %v", trial, n, tree, want)
+		}
+	}
+}
+
+func TestCanonicalizeEdges(t *testing.T) {
+	edges := []Edge{
+		{From: 5, To: 2, Weight: 1},
+		{From: 1, To: 3, Weight: 1},
+		{From: 0, To: 4, Weight: 0.5},
+	}
+	CanonicalizeEdges(edges)
+	want := []Edge{
+		{From: 0, To: 4, Weight: 0.5},
+		{From: 1, To: 3, Weight: 1},
+		{From: 2, To: 5, Weight: 1},
+	}
+	if !reflect.DeepEqual(edges, want) {
+		t.Fatalf("CanonicalizeEdges = %v, want %v", edges, want)
+	}
+	if !EdgeLess(want[0], want[1]) || EdgeLess(want[2], want[1]) {
+		t.Fatal("EdgeLess violates the (weight, from, to) order")
 	}
 }

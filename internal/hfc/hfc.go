@@ -58,9 +58,12 @@ const MaxBackupBorders = 2
 // Build constructs the HFC topology from an embedded coordinate map and a
 // clustering of the same node set. Border pairs are chosen per §3.3: for
 // every pair of clusters, the cross-cluster node pair at minimum embedded
-// distance, with deterministic index-order tie-breaking.
+// distance, with deterministic index-order tie-breaking. Large overlays
+// elect through per-cluster geo indexes (see election.go); the result is
+// bit-identical to BuildWithSelector(cmap, clustering,
+// ClosestPairSelector()), which always runs the brute scans.
 func Build(cmap *coords.Map, clustering *cluster.Result) (*Topology, error) {
-	return BuildWithSelector(cmap, clustering, ClosestPairSelector())
+	return BuildParallel(cmap, clustering, 0)
 }
 
 func sortedKeys(set map[int]bool) []int {

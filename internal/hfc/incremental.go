@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hfc/internal/coords"
+	"hfc/internal/geo"
 )
 
 // DynamicStats counts the maintenance work a Dynamic has performed, so
@@ -46,7 +47,12 @@ type Dynamic struct {
 	// Pairs touching an empty cluster are absent.
 	borders map[[2]int]BorderPair
 	backups map[[2]int][]BorderPair
-	stats   DynamicStats
+	// geoOK enables the lazily built per-cluster geo indexes (geoIdx) the
+	// re-elections query in place of brute scans; an entry is dropped
+	// whenever its cluster's membership changes.
+	geoOK  bool
+	geoIdx []geo.Index
+	stats  DynamicStats
 }
 
 // NewDynamic wraps a built topology for incremental maintenance. The
@@ -76,7 +82,32 @@ func NewDynamic(t *Topology) *Dynamic {
 	for key, backs := range t.backups {
 		d.backups[key] = append([]BorderPair(nil), backs...)
 	}
+	d.geoOK = n >= borderIndexMinN && geo.Finite(t.coords.Points)
+	d.geoIdx = make([]geo.Index, k)
 	return d
+}
+
+// indexFor returns the cached geo index over cluster c's live members,
+// building it on first use after a membership change, or nil when the pair
+// should elect brute-force (small overlay, small cluster, or a failed
+// build, which disables indexing for the Dynamic's lifetime).
+func (d *Dynamic) indexFor(c int) geo.Index {
+	if !d.geoOK {
+		return nil
+	}
+	if d.geoIdx[c] != nil {
+		return d.geoIdx[c]
+	}
+	if len(d.members[c]) < clusterIndexMinSize {
+		return nil
+	}
+	idx, err := geo.NewIndex(d.cmap.Points, d.members[c], geo.Auto)
+	if err != nil {
+		d.geoOK = false
+		return nil
+	}
+	d.geoIdx[c] = idx
+	return idx
 }
 
 // NumClusters returns the (fixed) cluster count.
@@ -161,12 +192,12 @@ func (d *Dynamic) recomputePair(key [2]int) error {
 		delete(d.backups, key)
 		return nil
 	}
-	pair, err := closestPair(d.cmap, d.members[lo], d.members[hi])
+	pair, backs, err := electBorders(d.cmap, d.members[lo], d.members[hi], d.indexFor(hi))
 	if err != nil {
 		return fmt.Errorf("hfc: recomputing border pair (%d,%d): %w", lo, hi, err)
 	}
 	d.borders[key] = pair
-	d.backups[key] = backupPairs(d.cmap, d.members[lo], d.members[hi], pair, MaxBackupBorders)
+	d.backups[key] = backs
 	return nil
 }
 
@@ -203,6 +234,7 @@ func (d *Dynamic) Leave(node int) error {
 	mem := d.members[c]
 	i := sort.SearchInts(mem, node)
 	d.members[c] = append(mem[:i], mem[i+1:]...)
+	d.geoIdx[c] = nil
 	d.stats.Leaves++
 	for _, key := range d.pairKeysOf(c) {
 		d.stats.PairsChecked++
@@ -235,6 +267,7 @@ func (d *Dynamic) Rejoin(node int) error {
 	mem := d.members[c]
 	i := sort.SearchInts(mem, node)
 	d.members[c] = append(mem[:i], append([]int{node}, mem[i:]...)...)
+	d.geoIdx[c] = nil
 	d.stats.Rejoins++
 	for _, key := range d.pairKeysOf(c) {
 		d.stats.PairsChecked++

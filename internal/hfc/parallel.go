@@ -23,11 +23,12 @@ type pairResult struct {
 // scan; negative selects GOMAXPROCS).
 //
 // Determinism contract: each cluster pair's scan reads only the immutable
-// coordinate map and member lists and writes a slot private to that pair;
-// assembly then walks the pairs in exactly Build's a < b order. The
-// resulting topology is therefore bit-identical to Build(cmap, clustering)
-// for any worker count. Only the paper's closest-pair rule is supported —
-// the ablation selectors draw from rng and must stay on BuildWithSelector.
+// coordinate map, member lists, and prebuilt per-cluster geo indexes, and
+// writes a slot private to that pair; assembly then walks the pairs in
+// exactly the serial a < b order. The resulting topology is therefore
+// bit-identical to Build(cmap, clustering) for any worker count. Only the
+// paper's closest-pair rule is supported — the ablation selectors draw
+// from rng and must stay on BuildWithSelector.
 func BuildParallel(cmap *coords.Map, clustering *cluster.Result, workers int) (*Topology, error) {
 	if cmap == nil {
 		return nil, errors.New("hfc: nil coordinate map")
@@ -39,6 +40,7 @@ func BuildParallel(cmap *coords.Map, clustering *cluster.Result, workers int) (*
 		return nil, fmt.Errorf("hfc: clustering covers %d nodes but map has %d", len(clustering.Assignment), cmap.N())
 	}
 	k := clustering.NumClusters()
+	elect := buildElectionIndexes(cmap, clustering, workers)
 	results := make([]pairResult, 0, k*(k-1)/2)
 	for a := 0; a < k; a++ {
 		for b := a + 1; b < k; b++ {
@@ -47,13 +49,13 @@ func BuildParallel(cmap *coords.Map, clustering *cluster.Result, workers int) (*
 	}
 	par.For(len(results), workers, func(i int) {
 		r := &results[i]
-		pair, err := closestPair(cmap, clustering.Clusters[r.a], clustering.Clusters[r.b])
+		pair, backs, err := electBorders(cmap, clustering.Clusters[r.a], clustering.Clusters[r.b], elect.forPair(r.b))
 		if err != nil {
 			r.err = fmt.Errorf("hfc: selecting border pair (%d,%d): %w", r.a, r.b, err)
 			return
 		}
 		r.primary = pair
-		r.backups = backupPairs(cmap, clustering.Clusters[r.a], clustering.Clusters[r.b], pair, MaxBackupBorders)
+		r.backups = backs
 	})
 
 	t := &Topology{
