@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-full bench-compare bench-scale fmt
+.PHONY: all build test race lint bench bench-full bench-compare bench-scale chaos fmt
 
 # Output snapshot for the regression-gate benchmarks (see cmd/benchgate).
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 
 all: build test lint
 
@@ -47,6 +47,13 @@ bench-full:
 # wall-clock budget. See DESIGN.md "The geometric engine".
 bench-scale:
 	HFC_BENCH_SCALE=1 $(GO) test -run TestScaleSmoke -v ./internal/experiments/
+
+# chaos runs the partition→heal drill and its relatives under the race
+# detector — the fault-injection acceptance suite CI's chaos job runs.
+chaos:
+	$(GO) test -race -run 'TestPartitionHealDrill|TestScheduledChaosAlwaysReconverges|TestRunnerTraceDeterminism' -count 2 ./internal/chaos/
+	$(GO) test -race -run 'TestGrayNodeQuarantineAndRelease|TestDegradedRouteFallback' ./internal/overlay/
+	$(GO) test -race -run 'TestEngineDegraded|TestEngineExcludesUnavailableProvider' ./internal/serve/
 
 fmt:
 	gofmt -l -w $$(git ls-files '*.go' | grep -v '^vendor/')

@@ -9,7 +9,7 @@
 //	experiments -run ablation-k,ablation-relax
 //
 // Runs: table1, fig9a, fig9b, fig10, messages, qos, multilevel,
-// convergence, faults, serve, scale, ablation-k, ablation-dim,
+// convergence, faults, chaos, serve, scale, ablation-k, ablation-dim,
 // ablation-relax, ablation-border, ablation-landmarks, ablation-churn.
 // `scale` sweeps overlay construction over the spatial-index engine at
 // n=1k/8k (plus 32k and 100k with -full).
@@ -39,7 +39,7 @@ func main() {
 }
 
 func run() error {
-	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, serve, scale, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
+	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, chaos, serve, scale, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	full := flag.Bool("full", false, "paper-scale sample sizes (5 trials, 1000 requests; takes minutes)")
 	trials := flag.Int("trials", 0, "override trial count")
@@ -283,6 +283,27 @@ func run() error {
 				return err
 			}
 			fmt.Print(experiments.FormatBorderFailover(frows))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if section("chaos") {
+		if err := timed("chaos", func() error {
+			spec := ablSpec
+			spec.Proxies = 120
+			// Every failed resolution during the cut burns a route
+			// timeout of wall clock; a modest request set keeps the
+			// drill in seconds.
+			n := nRequests
+			if n > 60 {
+				n = 60
+			}
+			rows, err := experiments.RunChaosDrill(spec, nTrials, n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatChaosDrill(rows))
 			return nil
 		}); err != nil {
 			return err

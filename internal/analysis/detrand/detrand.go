@@ -38,7 +38,7 @@ var Analyzer = &analysis.Analyzer{
 
 // DefaultPackages is the comma-separated list of package names the check
 // applies to when the -packages flag is not set.
-const DefaultPackages = "state,routing,hfc,graph,coords,svc,topology,serve,geo"
+const DefaultPackages = "state,routing,hfc,graph,coords,svc,topology,serve,geo,chaos"
 
 var packagesFlag string
 

@@ -1,0 +1,457 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/hfc"
+	"hfc/internal/overlay"
+	"hfc/internal/routing"
+	"hfc/internal/svc"
+)
+
+// fixture builds the 3-cluster, 24-node overlay topology the drills run on.
+func fixture(t *testing.T, seed int64) (*hfc.Topology, []svc.CapabilitySet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pts []coords.Point
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 8; i++ {
+			pts = append(pts, coords.Point{float64(c)*300 + rng.Float64()*30, rng.Float64() * 30})
+		}
+	}
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	res, err := cluster.Cluster(len(pts), cmap.Dist, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	topo, err := hfc.Build(cmap, res)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cat, err := svc.NewCatalog(12)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	caps, err := svc.RandomCapabilities(rng, len(pts), cat, 2, 5)
+	if err != nil {
+		t.Fatalf("RandomCapabilities: %v", err)
+	}
+	return topo, caps
+}
+
+// drillConfig is the overlay configuration the chaos drills use: fast RPC
+// deadlines, the accrual detector, degraded serving, route caching, and the
+// engine wired in as the link policy.
+func drillConfig(eng *Engine) overlay.Config {
+	return overlay.Config{
+		RouteTimeout: 50 * time.Millisecond,
+		RPCTimeout:   15 * time.Millisecond,
+		RPCRetries:   1,
+		RPCBackoff:   time.Millisecond,
+		LinkPolicy:   eng.Policy,
+		Health:       overlay.HealthConfig{Enabled: true, MaxScore: 4},
+		DegradedRoutes: true,
+		CacheRoutes:    true,
+	}
+}
+
+func startSys(t *testing.T, topo *hfc.Topology, caps []svc.CapabilitySet, cfg overlay.Config) *overlay.System {
+	t.Helper()
+	sys, err := overlay.New(topo, caps, cfg)
+	if err != nil {
+		t.Fatalf("overlay.New: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = sys.Stop() })
+	return sys
+}
+
+func rounds(sys *overlay.System, n int) {
+	for i := 0; i < n; i++ {
+		sys.TriggerStateRound()
+		sys.Quiesce()
+	}
+}
+
+// splitSets partitions the node IDs into cluster c vs everyone else.
+func splitSets(topo *hfc.Topology, c int) (minority, majority []int) {
+	for i := 0; i < topo.N(); i++ {
+		if topo.ClusterOf(i) == c {
+			minority = append(minority, i)
+		} else {
+			majority = append(majority, i)
+		}
+	}
+	return minority, majority
+}
+
+func TestFaultValidate(t *testing.T) {
+	cases := []Fault{
+		{},                          // empty ID
+		{ID: "x"},                   // does nothing
+		{ID: "x", Drop: 1.5},        // rate out of range
+		{ID: "x", DelayMS: -1},      // negative delay
+		{ID: "x", ReorderRate: -.1}, // negative rate
+	}
+	for i, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d (%+v): invalid fault accepted", i, f)
+		}
+	}
+	ok := Fault{ID: "ok", Drop: 0.5, DelayMS: 2, JitterMS: 1, DuplicateRate: 0.1, ReorderRate: 0.2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+	if err := Partition("p", []int{1}, []int{2}, true).Validate(); err != nil {
+		t.Errorf("partition rejected: %v", err)
+	}
+}
+
+func TestEngineInjectHealActive(t *testing.T) {
+	eng := NewEngine(1, 0)
+	if err := eng.Inject(Partition("a", []int{0}, []int{1}, false)); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if err := eng.Inject(Partition("a", []int{2}, []int{3}, false)); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := eng.Inject(Fault{ID: "b", Drop: 0.5}); err != nil {
+		t.Fatalf("Inject b: %v", err)
+	}
+	if got := eng.Active(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Active = %v, want [a b]", got)
+	}
+	if !eng.Heal("a") || eng.Heal("a") {
+		t.Error("Heal(a) should succeed once")
+	}
+	if n := eng.HealAll(); n != 1 {
+		t.Errorf("HealAll = %d, want 1", n)
+	}
+}
+
+func TestEngineVerdictDeterminismAndScope(t *testing.T) {
+	mk := func(seed uint64) *Engine {
+		e := NewEngine(seed, 0)
+		if err := e.Inject(Fault{ID: "loss", From: []int{0}, To: []int{1}, Drop: 0.5,
+			JitterMS: 2, DuplicateRate: 0.3}); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+		if err := e.Inject(Partition("cut", []int{2}, []int{3}, true)); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+		return e
+	}
+	a, b := mk(7), mk(7)
+	differsFromC := false
+	c := mk(8)
+	for i := 0; i < 200; i++ {
+		va, vb := a.Policy(0, 1, overlay.MsgLocal), b.Policy(0, 1, overlay.MsgLocal)
+		if va != vb {
+			t.Fatalf("draw %d: same seed diverged: %+v vs %+v", i, va, vb)
+		}
+		if vc := c.Policy(0, 1, overlay.MsgLocal); vc != va {
+			differsFromC = true
+		}
+	}
+	if !differsFromC {
+		t.Error("200 draws identical across different seeds")
+	}
+	if !reflect.DeepEqual(a.Summary(), b.Summary()) {
+		t.Error("same-seed engines produced different summaries")
+	}
+	// The cut is symmetric and absolute; unrelated links are untouched.
+	for i := 0; i < 10; i++ {
+		if !a.Policy(2, 3, overlay.MsgChild).Drop || !a.Policy(3, 2, overlay.MsgChild).Drop {
+			t.Fatal("cut link delivered")
+		}
+	}
+	if v := a.Policy(4, 5, overlay.MsgLocal); v != (overlay.LinkVerdict{}) {
+		t.Errorf("unfaulted link got verdict %+v", v)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{{Round: 0, Heal: []string{"x"}}}).Validate(); err == nil {
+		t.Error("round 0 accepted")
+	}
+	if err := (Schedule{{Round: 1}}).Validate(); err == nil {
+		t.Error("empty event accepted")
+	}
+	if err := (Schedule{{Round: 1, Inject: []Fault{{}}}}).Validate(); err == nil {
+		t.Error("invalid fault accepted")
+	}
+	if err := (Schedule{{Round: 1, Heal: []string{""}}}).Validate(); err == nil {
+		t.Error("empty heal ID accepted")
+	}
+	s := Schedule{
+		{Round: 2, Inject: []Fault{Partition("p", []int{0}, []int{1}, true)}},
+		{Round: 5, Heal: []string{"*"}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	if got := s.LastRound(); got != 5 {
+		t.Errorf("LastRound = %d, want 5", got)
+	}
+}
+
+func TestRunnerHealUnknownFaultErrors(t *testing.T) {
+	topo, caps := fixture(t, 20)
+	eng := NewEngine(20, 0)
+	sys := startSys(t, topo, caps, drillConfig(eng))
+	r := &Runner{Sys: sys, Engine: eng, Schedule: Schedule{{Round: 1, Heal: []string{"ghost"}}}}
+	if _, err := r.Run(); err == nil {
+		t.Error("healing an inactive fault did not error")
+	}
+}
+
+// TestRunnerTraceDeterminism is the tentpole guarantee: two fresh systems,
+// same seed, same schedule — byte-identical event traces despite the real
+// goroutine-per-node concurrency underneath.
+func TestRunnerTraceDeterminism(t *testing.T) {
+	run := func(engSeed uint64) *Report {
+		topo, caps := fixture(t, 21)
+		minority, majority := splitSets(topo, 2)
+		eng := NewEngine(engSeed, 0)
+		sys := startSys(t, topo, caps, drillConfig(eng))
+		sched := Schedule{
+			{Round: 3, Inject: []Fault{
+				Partition("split", minority, majority, true),
+				{ID: "flaky", From: []int{majority[0]}, To: []int{majority[1]},
+					Drop: 0.4, JitterMS: 1, DuplicateRate: 0.3, ReorderRate: 0.2},
+			}},
+			{Round: 7, Heal: []string{"*"}},
+		}
+		rep, err := (&Runner{Sys: sys, Engine: eng, Schedule: sched}).Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+	a, b := run(42), run(42)
+	ta, tb := strings.Join(a.Trace, "\n"), strings.Join(b.Trace, "\n")
+	if ta != tb {
+		t.Fatalf("same seed+schedule produced different traces:\n--- run A ---\n%s\n--- run B ---\n%s", ta, tb)
+	}
+	if len(a.Trace) < 4 {
+		t.Fatalf("trace suspiciously short: %v", a.Trace)
+	}
+	if !a.Converged || a.ReconvergeRounds < 0 || a.ReconvergeRounds > 10 {
+		t.Fatalf("run did not reconverge promptly: %+v", a)
+	}
+	if other := run(43); strings.Join(other.Trace, "\n") == ta {
+		t.Error("different seed produced an identical trace")
+	}
+}
+
+// TestPartitionHealDrill is the acceptance drill: a minority cluster is
+// partitioned away; requests that must cross the cut are served from
+// last-known-good state, tagged degraded and still correct against the
+// ground-truth deployment; after the heal the overlay reconverges within a
+// bounded number of rounds, quarantines drain, border elections return to
+// the static optimum, and the same requests resolve fresh again.
+func TestPartitionHealDrill(t *testing.T) {
+	topo, caps := fixture(t, 22)
+	minority, majority := splitSets(topo, 2)
+	if len(minority) < 2 {
+		t.Fatal("fixture cluster 2 too small")
+	}
+	// A service only the majority provides forces the drill request's
+	// resolution across the cut.
+	unique := svc.Service("chaos-unique")
+	var majProvider int = -1
+	for _, m := range majority {
+		if topo.ClusterOf(m) == 0 {
+			majProvider = m
+			break
+		}
+	}
+	caps[majProvider] = caps[majProvider].Clone()
+	caps[majProvider].Add(unique)
+
+	eng := NewEngine(22, 0)
+	sys := startSys(t, topo, caps, drillConfig(eng))
+	check := &Checker{Topo: topo, Caps: caps}
+	rounds(sys, 2)
+
+	sg, err := svc.Linear(unique)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	req := svc.Request{Source: minority[0], Dest: minority[1], SG: sg}
+	fresh, err := sys.Route(req)
+	if err != nil {
+		t.Fatalf("warm Route: %v", err)
+	}
+	if fresh.Degraded {
+		t.Fatal("warm result degraded")
+	}
+	if err := check.CheckResult(sys, req, fresh); err != nil {
+		t.Fatalf("warm result violates invariants: %v", err)
+	}
+
+	// Partition: cluster 2 cannot reach the rest of the overlay.
+	if err := eng.Inject(Partition("split", minority, majority, true)); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	rounds(sys, 2)
+	stale, err := sys.Route(req)
+	if err != nil {
+		t.Fatalf("Route under partition: %v", err)
+	}
+	if !stale.Degraded {
+		t.Fatal("cross-cut route under partition not served degraded")
+	}
+	// Degraded may be stale, never wrong: it still validates against the
+	// (unchanged) ground-truth deployment and respects the §3 relay bound.
+	if err := check.CheckResult(sys, req, stale); err != nil {
+		t.Fatalf("degraded result violates invariants: %v", err)
+	}
+	if fc := sys.FaultCounters(); fc.DegradedRoutes == 0 || fc.DroppedByPolicy == 0 {
+		t.Fatalf("FaultCounters = %+v, want DegradedRoutes > 0 and DroppedByPolicy > 0", fc)
+	}
+
+	// Heal. Reconvergence must be bounded, quarantines must drain, and the
+	// live border elections must return to the fresh-rebuild optimum.
+	eng.HealAll()
+	reconverged := -1
+	for r := 1; r <= 15; r++ {
+		rounds(sys, 1)
+		ok, err := sys.ConvergedLive()
+		if err != nil {
+			t.Fatalf("ConvergedLive: %v", err)
+		}
+		if ok {
+			reconverged = r
+			break
+		}
+	}
+	if reconverged < 0 {
+		t.Fatal("no reconvergence within 15 rounds of the heal")
+	}
+	t.Logf("reconverged %d round(s) after heal", reconverged)
+	for r := 0; r < 20 && len(sys.QuarantinedNodes()) > 0; r++ {
+		rounds(sys, 1)
+	}
+	if q := sys.QuarantinedNodes(); len(q) != 0 {
+		t.Fatalf("quarantines never drained after heal: %v (suspicion of first: %v)",
+			q, sys.SuspicionLevel(q[0]))
+	}
+	fresh2 := hfc.NewDynamic(topo)
+	if err := fresh2.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if got, want := sys.BorderSnapshot(), fresh2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatal("post-heal border state diverges from a fresh rebuild")
+	}
+	again, err := sys.Route(req)
+	if err != nil {
+		t.Fatalf("post-heal Route: %v", err)
+	}
+	if again.Degraded {
+		t.Fatal("post-heal route still served degraded — stale cache behavior")
+	}
+	if err := check.CheckResult(sys, req, again); err != nil {
+		t.Fatalf("post-heal result violates invariants: %v", err)
+	}
+}
+
+// TestScheduledChaosAlwaysReconverges is the reconvergence property: any
+// schedule that ends fully healed leaves the overlay reconverged within the
+// runner's bound and the border tables DeepEqual to a fresh rebuild.
+func TestScheduledChaosAlwaysReconverges(t *testing.T) {
+	topo, caps := fixture(t, 23)
+	minority, majority := splitSets(topo, 2)
+	scheds := []Schedule{
+		{ // asymmetric partition, then a gray link, healed in stages
+			{Round: 2, Inject: []Fault{Partition("oneway", minority, majority, false)}},
+			{Round: 4, Inject: []Fault{{ID: "gray", From: []int{majority[0]}, Drop: 0.7}}},
+			{Round: 6, Heal: []string{"oneway"}},
+			{Round: 8, Heal: []string{"gray"}},
+		},
+		{ // flapping full partition
+			{Round: 2, Inject: []Fault{Partition("flap", minority, majority, true)}},
+			{Round: 3, Heal: []string{"flap"}},
+			{Round: 4, Inject: []Fault{Partition("flap", minority, majority, true)}},
+			{Round: 6, Heal: []string{"*"}},
+		},
+		{ // pure latency storm: delay, jitter, duplication, reordering
+			{Round: 2, Inject: []Fault{{ID: "storm", DelayMS: 1, JitterMS: 2,
+				DuplicateRate: 0.4, ReorderRate: 0.3}}},
+			{Round: 7, Heal: []string{"storm"}},
+		},
+	}
+	for i, sched := range scheds {
+		eng := NewEngine(uint64(100+i), 0)
+		sys := startSys(t, topo, caps, drillConfig(eng))
+		rep, err := (&Runner{Sys: sys, Engine: eng, Schedule: sched, ReconvergeCap: 20}).Run()
+		if err != nil {
+			t.Fatalf("schedule %d: Run: %v", i, err)
+		}
+		if !rep.Converged {
+			t.Fatalf("schedule %d: not reconverged after %d rounds", i, rep.RoundsRun)
+		}
+		t.Logf("schedule %d: reconverged %d round(s) after last event", i, rep.ReconvergeRounds)
+		for r := 0; r < 20 && len(sys.QuarantinedNodes()) > 0; r++ {
+			rounds(sys, 1)
+		}
+		if q := sys.QuarantinedNodes(); len(q) != 0 {
+			t.Fatalf("schedule %d: quarantines never drained: %v", i, q)
+		}
+		fresh := hfc.NewDynamic(topo)
+		if err := fresh.Rebuild(); err != nil {
+			t.Fatalf("Rebuild: %v", err)
+		}
+		if got, want := sys.BorderSnapshot(), fresh.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("schedule %d: healed border state diverges from fresh rebuild", i)
+		}
+		if err := sys.Stop(); err != nil {
+			t.Fatalf("Stop: %v", err)
+		}
+	}
+}
+
+func TestMaxRelayRun(t *testing.T) {
+	mkPath := func(services ...svc.Service) *routing.Path {
+		p := &routing.Path{}
+		for i, s := range services {
+			p.Hops = append(p.Hops, routing.Hop{Node: i, Service: s})
+		}
+		return p
+	}
+	cases := []struct {
+		hops []svc.Service
+		want int
+	}{
+		{[]svc.Service{"", ""}, 0},               // endpoints only
+		{[]svc.Service{"", "a", ""}, 0},          // service hop, no relays
+		{[]svc.Service{"", "", "a", ""}, 1},      // one relay before the service
+		{[]svc.Service{"", "", "", "a", ""}, 2},  // border-pair relay run
+		{[]svc.Service{"", "", "", "", "a"}, 3},  // over the §3 bound
+		{[]svc.Service{"", "a", "", "", "b"}, 2}, // interior run between services
+	}
+	for i, c := range cases {
+		if got := MaxRelayRun(mkPath(c.hops...)); got != c.want {
+			t.Errorf("case %d %v: MaxRelayRun = %d, want %d", i, c.hops, got, c.want)
+		}
+	}
+}
+
+func TestCheckerRejectsNilResult(t *testing.T) {
+	topo, caps := fixture(t, 24)
+	check := &Checker{Topo: topo, Caps: caps}
+	if err := check.CheckResult(nil, svc.Request{}, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hfc/internal/overlay"
+)
+
+// fuzzNodes is the node-ID space the fuzzed schedules act on.
+const fuzzNodes = 24
+
+// decodeSchedule turns arbitrary bytes into a valid chaos schedule over
+// fuzzNodes node IDs: 6 bytes per event (op, two nodes, a rate, a round
+// advance, a magnitude), ending with a heal-all so every decoded timeline is
+// a "heals eventually" schedule. The decoder is total: any input yields a
+// schedule that passes Validate.
+func decodeSchedule(data []byte) Schedule {
+	var sched Schedule
+	round, nextID := 1, 0
+	var active []string
+	for ; len(data) >= 6 && len(sched) < 12; data = data[6:] {
+		op, a, b := data[0]%4, int(data[1])%fuzzNodes, int(data[2])%fuzzNodes
+		rate := float64(data[3]) / 256
+		round += int(data[4]) % 3
+		mag := float64(data[5]%4) + 1
+		switch op {
+		case 0:
+			id := fmt.Sprintf("f%d", nextID)
+			nextID++
+			active = append(active, id)
+			sched = append(sched, Event{Round: round,
+				Inject: []Fault{Partition(id, []int{a}, []int{b}, data[5]%2 == 0)}})
+		case 1:
+			id := fmt.Sprintf("f%d", nextID)
+			nextID++
+			active = append(active, id)
+			sched = append(sched, Event{Round: round, Inject: []Fault{{
+				ID: id, From: []int{a}, To: []int{b},
+				Drop: rate * 0.9, DelayMS: mag, JitterMS: mag,
+				DuplicateRate: rate / 2, ReorderRate: rate / 2,
+			}}})
+		case 2:
+			if len(active) == 0 {
+				continue
+			}
+			i := int(data[1]) % len(active)
+			id := active[i]
+			active = append(active[:i], active[i+1:]...)
+			sched = append(sched, Event{Round: round, Heal: []string{id}})
+		case 3:
+			if len(active) == 0 {
+				continue
+			}
+			active = nil
+			sched = append(sched, Event{Round: round, Heal: []string{"*"}})
+		}
+	}
+	sched = append(sched, Event{Round: round + 1, Heal: []string{"*"}})
+	return sched
+}
+
+// FuzzChaosSchedule checks, for arbitrary decoded schedules, that (a) the
+// decoder only emits schedules Validate accepts, and (b) two engines with
+// the same seed replaying the same schedule against the same message stream
+// agree on every verdict and on the final trace summary — the determinism
+// property the overlay drills rely on, explored over fault-space instead of
+// the handful of hand-written timelines.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 9, 200, 1, 2, 1, 3, 17, 128, 1, 1, 3, 0, 0, 0, 1, 0}, uint64(7))
+	f.Add([]byte{1, 0, 23, 255, 0, 3, 1, 5, 5, 64, 2, 1, 2, 0, 0, 0, 0, 0}, uint64(42))
+	f.Add([]byte{0, 8, 16, 10, 2, 0}, uint64(1))
+	kinds := []overlay.MsgKind{overlay.MsgLocal, overlay.MsgAggregate,
+		overlay.MsgRoute, overlay.MsgChild, overlay.MsgData}
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		sched := decodeSchedule(data)
+		if err := sched.Validate(); err != nil {
+			t.Fatalf("decoder produced an invalid schedule: %v\n%+v", err, sched)
+		}
+		ea, eb := NewEngine(seed, 0), NewEngine(seed, 0)
+		apply := func(e *Engine, ev Event) error {
+			for _, id := range ev.Heal {
+				if id == "*" {
+					e.HealAll()
+					continue
+				}
+				if !e.Heal(id) {
+					return fmt.Errorf("heal %q missed", id)
+				}
+			}
+			for _, fault := range ev.Inject {
+				if err := e.Inject(fault); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		msg := 0
+		for _, ev := range sched {
+			errA, errB := apply(ea, ev), apply(eb, ev)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("engines diverged applying %+v: %v vs %v", ev, errA, errB)
+			}
+			if errA != nil {
+				// The decoder tracks the active set, so this is a bug.
+				t.Fatalf("decoded schedule failed to apply: %v", errA)
+			}
+			// A burst of traffic between events, spread over links/kinds.
+			for i := 0; i < 40; i++ {
+				from := (msg*7 + 1) % fuzzNodes
+				to := (msg*11 + 3) % fuzzNodes
+				msg++
+				if from == to {
+					continue
+				}
+				kind := kinds[msg%len(kinds)]
+				va, vb := ea.Policy(from, to, kind), eb.Policy(from, to, kind)
+				if va != vb {
+					t.Fatalf("verdict diverged at message %d (%d->%d %s): %+v vs %+v",
+						msg, from, to, kind, va, vb)
+				}
+			}
+		}
+		if sa, sb := ea.Summary(), eb.Summary(); !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("summaries diverged:\n%v\n%v", sa, sb)
+		}
+		if got := ea.Active(); len(got) != 0 {
+			t.Fatalf("schedule ended with active faults: %v", got)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hfc/internal/hfc"
+	"hfc/internal/overlay"
+	"hfc/internal/routing"
+	"hfc/internal/svc"
+)
+
+// Checker verifies the invariants the paper's design promises even under
+// faults, on every route the drill resolves:
+//
+//   - §3 relay bound: between any two consecutive service-performing hops
+//     (or an endpoint and the nearest service hop), a route crosses at most
+//     MaxOverlayHops−1 pure relays — the border pair plus nothing else.
+//   - Correctness: the path answers the request against the ground-truth
+//     deployment (endpoints, service placement, graph feasibility). This
+//     holds for degraded results too: stale may be slower, never wrong.
+//   - Liveness of fresh results: a non-degraded route never crosses a
+//     proxy the runtime itself knows is crashed — serving a fresh route
+//     through a known-dead hop would be the stale-route bug the cache
+//     invalidation exists to prevent.
+type Checker struct {
+	Topo *hfc.Topology
+	// Caps is the ground-truth deployment the drill holds fixed.
+	Caps []svc.CapabilitySet
+}
+
+// MaxRelayRun returns the longest run of consecutive pure-relay hops in the
+// path (service-performing hops and the endpoints break runs).
+func MaxRelayRun(p *routing.Path) int {
+	longest, run := 0, 0
+	for i, h := range p.Hops {
+		if i > 0 && i < len(p.Hops)-1 && h.Service == "" {
+			run++
+			if run > longest {
+				longest = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return longest
+}
+
+// CheckResult verifies one resolved route against the invariants above.
+func (c *Checker) CheckResult(sys *overlay.System, req svc.Request, res *routing.Result) error {
+	if res == nil || res.Path == nil {
+		return fmt.Errorf("chaos: nil result for request %d->%d", req.Source, req.Dest)
+	}
+	if err := res.Path.Validate(req, c.Caps); err != nil {
+		return fmt.Errorf("chaos: route %d->%d (degraded=%v) invalid against ground truth: %w",
+			req.Source, req.Dest, res.Degraded, err)
+	}
+	if run := MaxRelayRun(res.Path); run > hfc.MaxOverlayHops-1 {
+		return fmt.Errorf("chaos: route %d->%d crosses %d consecutive relays, §3 bound is %d: %v",
+			req.Source, req.Dest, run, hfc.MaxOverlayHops-1, res.Path)
+	}
+	if !res.Degraded {
+		for _, h := range res.Path.Hops {
+			if sys.IsCrashed(h.Node) {
+				return fmt.Errorf("chaos: fresh route %d->%d crosses crashed node %d: %v",
+					req.Source, req.Dest, h.Node, res.Path)
+			}
+		}
+	}
+	return nil
+}

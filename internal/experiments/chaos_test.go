@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hfc/internal/env"
+)
+
+func TestRunChaosDrill(t *testing.T) {
+	spec := env.SmallSpec(701)
+	rows, err := RunChaosDrill(spec, 2, 20)
+	if err != nil {
+		t.Fatalf("RunChaosDrill: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The issue's acceptance bar: degraded answers are stale but never
+		// wrong, reconvergence after the heal is bounded, quarantines
+		// drain, and the incremental border state matches a fresh rebuild.
+		if r.DegradedValid != r.DegradedDuringCut {
+			t.Errorf("cluster %d: %d of %d degraded serves validated", r.Cluster, r.DegradedValid, r.DegradedDuringCut)
+		}
+		if got := r.FreshDuringCut + r.DegradedDuringCut + r.FailedDuringCut; got != r.Requests {
+			t.Errorf("cluster %d: outcomes %d != requests %d", r.Cluster, got, r.Requests)
+		}
+		if r.DroppedByPolicy == 0 {
+			t.Errorf("cluster %d: partition dropped nothing", r.Cluster)
+		}
+		if r.ReconvergeRounds >= convergeCap {
+			t.Errorf("cluster %d: no re-convergence within %d rounds after heal", r.Cluster, convergeCap)
+		}
+		if !r.BordersMatchRebuild {
+			t.Errorf("cluster %d: border state diverged from fresh rebuild after heal", r.Cluster)
+		}
+		if r.PostHealSuccess < 0.95 {
+			t.Errorf("cluster %d: post-heal success %.3f, want >= 0.95", r.Cluster, r.PostHealSuccess)
+		}
+	}
+	if !strings.Contains(FormatChaosDrill(rows), "reconverge") {
+		t.Error("FormatChaosDrill missing header")
+	}
+}
+
+func TestRunChaosDrillValidation(t *testing.T) {
+	spec := env.SmallSpec(1)
+	if _, err := RunChaosDrill(spec, 0, 5); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunChaosDrill(spec, 1, 0); err == nil {
+		t.Error("zero requests accepted")
+	}
+}

@@ -279,6 +279,37 @@ func (d *Dynamic) Rejoin(node int) error {
 	return nil
 }
 
+// DynamicSnapshot is a deep copy of a Dynamic's live border state, in a
+// directly comparable form: the chaos property tests assert a healed
+// overlay's snapshot is DeepEqual to a freshly rebuilt one.
+type DynamicSnapshot struct {
+	// Members lists each cluster's live members, sorted ascending.
+	Members [][]int
+	// Borders and Backups mirror the live election tables, keyed by
+	// normalized cluster pair.
+	Borders map[[2]int]BorderPair
+	Backups map[[2]int][]BorderPair
+}
+
+// Snapshot deep-copies the Dynamic's live membership and border tables.
+func (d *Dynamic) Snapshot() DynamicSnapshot {
+	s := DynamicSnapshot{
+		Members: make([][]int, len(d.members)),
+		Borders: make(map[[2]int]BorderPair, len(d.borders)),
+		Backups: make(map[[2]int][]BorderPair, len(d.backups)),
+	}
+	for c, mem := range d.members {
+		s.Members[c] = append([]int(nil), mem...)
+	}
+	for k, p := range d.borders {
+		s.Borders[k] = p
+	}
+	for k, ps := range d.backups {
+		s.Backups[k] = append([]BorderPair(nil), ps...)
+	}
+	return s
+}
+
 // Rebuild re-elects every cluster pair from the live membership, ignoring
 // the incremental state. It is the reference the equivalence tests compare
 // against and the baseline the maintenance benchmark measures incremental

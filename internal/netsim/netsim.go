@@ -29,6 +29,10 @@ type Network struct {
 	workers int
 	// bw caches shortest-path trees for Bottleneck queries.
 	bw bwState
+	// faults holds the per-link fault overrides (see faults.go); the table
+	// is internally synchronized, so installing faults is the one mutation
+	// a Network supports after construction.
+	faults *FaultTable
 }
 
 // Option customizes network construction.
@@ -59,7 +63,7 @@ func New(topo *topology.Topology, opts ...Option) (*Network, error) {
 	if !topo.Graph.Connected() {
 		return nil, errors.New("netsim: topology is disconnected")
 	}
-	n := &Network{topo: topo, noiseMax: 0.25}
+	n := &Network{topo: topo, noiseMax: 0.25, faults: NewFaultTable()}
 	for _, opt := range opts {
 		opt(n)
 	}
@@ -94,9 +98,19 @@ func (n *Network) Latency(u, v int) float64 {
 }
 
 // Ping simulates one application-level delay measurement between u and v:
-// the true latency inflated by multiplicative noise drawn from rng.
+// the true latency, adjusted for any installed link fault (delay inflation
+// and jitter; see Faults), then inflated by multiplicative noise drawn from
+// rng. Loss is not modeled here — callers simulating datagrams sample Lost
+// separately, since a lost probe yields no measurement at all.
 func (n *Network) Ping(rng *rand.Rand, u, v int) float64 {
 	base := n.Latency(u, v)
+	if f, ok := n.faults.Lookup(u, v); ok {
+		var jitter float64
+		if f.JitterMS > 0 {
+			jitter = rng.Float64()
+		}
+		base = f.DelayMS(base, jitter)
+	}
 	if n.noiseMax == 0 {
 		return base
 	}

@@ -19,8 +19,14 @@ func (s *System) Crash(id int) error {
 		return fmt.Errorf("overlay: node %d out of range [0,%d)", id, len(s.nodes))
 	}
 	s.crashed[id].Store(true)
+	// The crash registry subsumes any gray-node suspicion: a fail-stopped
+	// node must not linger in quarantine, or Recover's clean Rejoin would
+	// race a stale flag.
+	s.clearQuarantine(id)
 	// Incrementally re-elect the borders the crashed node served (§5.2):
-	// only its own cluster's pairs are touched.
+	// only its own cluster's pairs are touched. A node the accrual detector
+	// already quarantined has already left the elections; the Present check
+	// makes the two paths commute.
 	s.dynMu.Lock()
 	var err error
 	if s.dyn.Present(id) {
@@ -62,6 +68,9 @@ func (s *System) Recover(id int) error {
 		SeqC: n.state.SeqC,
 	}
 	n.st.Unlock()
+	// A recovered node starts with a clean bill of health: pre-crash
+	// suspicion was evidence about a process that no longer exists.
+	s.clearQuarantine(id)
 	// Restore the node into the live border elections before senders can
 	// see it alive, so border duty and view lookups are consistent.
 	s.dynMu.Lock()

@@ -1,0 +1,290 @@
+package overlay
+
+import (
+	"hfc/internal/hfc"
+	"hfc/internal/routing"
+)
+
+// HealthConfig tunes the accrual failure detector. Unlike the binary
+// crash registry, the detector scores *partial* evidence: an RPC deadline
+// missed against a node, or a protocol round that passed without anyone
+// hearing the node's floods, each raise its suspicion; successful replies
+// and fresh floods lower it. A node whose suspicion crosses QuarantineAt is
+// quarantined — still running, still receiving traffic, but excluded from
+// border election (via the incremental §5.2 maintainer) and from
+// provider/resolver choice — until its suspicion decays below ReleaseBelow,
+// the hysteresis gap preventing flapping nodes from thrashing the border
+// tables every round.
+type HealthConfig struct {
+	// Enabled switches the detector on; all other fields default as noted
+	// when zero.
+	Enabled bool
+	// MissScore is added per missed RPC deadline attributed to a node
+	// (default 1).
+	MissScore float64
+	// GapScore is added per protocol round of flood silence beyond
+	// GapRounds (default 1).
+	GapScore float64
+	// Relief is subtracted (floored at 0) per successful RPC reply and
+	// per round the node's floods were heard on time (default 0.5).
+	Relief float64
+	// GapRounds is how many rounds of silence are tolerated before
+	// GapScore accrues (default 2) — a freshly started system needs a
+	// round or two before silence means anything.
+	GapRounds uint64
+	// QuarantineAt is the suspicion level at which a node is quarantined
+	// (default 3).
+	QuarantineAt float64
+	// ReleaseBelow is the level a quarantined node must decay to before
+	// it is restored (default 1). Must be below QuarantineAt.
+	ReleaseBelow float64
+	// MaxScore caps suspicion (default 2·QuarantineAt): however long a
+	// node misbehaved, its release after healing takes at most
+	// (MaxScore − ReleaseBelow) / Relief healthy rounds — the bound the
+	// chaos reconvergence invariant relies on.
+	MaxScore float64
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if !h.Enabled {
+		return h
+	}
+	if h.MissScore == 0 {
+		h.MissScore = 1
+	}
+	if h.GapScore == 0 {
+		h.GapScore = 1
+	}
+	if h.Relief == 0 {
+		h.Relief = 0.5
+	}
+	if h.GapRounds == 0 {
+		h.GapRounds = 2
+	}
+	if h.QuarantineAt == 0 {
+		h.QuarantineAt = 3
+	}
+	if h.ReleaseBelow == 0 {
+		h.ReleaseBelow = 1
+	}
+	if h.MaxScore == 0 {
+		h.MaxScore = 2 * h.QuarantineAt
+	}
+	return h
+}
+
+// HealthStats counts the accrual detector's events.
+type HealthStats struct {
+	// DeadlineMisses and RPCSuccesses are the suspicion inputs from the
+	// request path; RoundGaps counts flood-silence penalties.
+	DeadlineMisses, RPCSuccesses, RoundGaps int
+	// Quarantines and Unquarantines count state transitions.
+	Quarantines, Unquarantines int
+}
+
+// noteHeard records that node `from`'s round-`seq` flood reached somebody —
+// the evidence stream the round-gap scorer reads. Monotonic (CAS-max): late
+// floods from old rounds never regress it.
+func (s *System) noteHeard(from int, seq uint64) {
+	for {
+		cur := s.lastHeard[from].Load()
+		if seq <= cur || s.lastHeard[from].CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// noteRPCOutcome feeds one RPC attempt's outcome against a target node into
+// the detector. No-op when health is disabled.
+func (s *System) noteRPCOutcome(target int, ok bool) {
+	if !s.cfg.Health.Enabled || target < 0 || target >= len(s.quarantined) {
+		return
+	}
+	s.healthMu.Lock()
+	if ok {
+		s.healthStats.RPCSuccesses++
+		s.suspicion[target] -= s.cfg.Health.Relief
+		if s.suspicion[target] < 0 {
+			s.suspicion[target] = 0
+		}
+	} else {
+		s.healthStats.DeadlineMisses++
+		s.suspicion[target] += s.cfg.Health.MissScore
+		if s.suspicion[target] > s.cfg.Health.MaxScore {
+			s.suspicion[target] = s.cfg.Health.MaxScore
+		}
+	}
+	s.healthMu.Unlock()
+}
+
+// evaluateHealth runs at each protocol tick (TriggerStateRound, with seq the
+// round about to start): it scores flood silence, then applies quarantine
+// and release transitions. Crashed nodes are the crash registry's business
+// and are skipped entirely.
+func (s *System) evaluateHealth(seq uint64) {
+	h := s.cfg.Health
+	var quarantine, release []int
+	s.healthMu.Lock()
+	for i := range s.suspicion {
+		if s.crashed[i].Load() {
+			continue
+		}
+		// Rounds of silence: floods of round seq-1 should have been heard
+		// by now (the caller quiesced between rounds).
+		if seq > 1 {
+			heard := s.lastHeard[i].Load()
+			gap := seq - 1 - heard // heard <= seq-1 always
+			if gap >= h.GapRounds {
+				s.suspicion[i] += h.GapScore
+				if s.suspicion[i] > h.MaxScore {
+					s.suspicion[i] = h.MaxScore
+				}
+				s.healthStats.RoundGaps++
+			} else if gap == 0 {
+				s.suspicion[i] -= h.Relief
+				if s.suspicion[i] < 0 {
+					s.suspicion[i] = 0
+				}
+			}
+		}
+		if !s.quarantined[i].Load() && s.suspicion[i] >= h.QuarantineAt {
+			quarantine = append(quarantine, i)
+			s.healthStats.Quarantines++
+		} else if s.quarantined[i].Load() && s.suspicion[i] <= h.ReleaseBelow {
+			release = append(release, i)
+			s.healthStats.Unquarantines++
+		}
+	}
+	s.healthMu.Unlock()
+
+	// Apply transitions outside healthMu: the border maintainer has its
+	// own lock, and the same Present checks Crash/Recover use make the two
+	// state machines commute.
+	for _, id := range quarantine {
+		s.dynMu.Lock()
+		var err error
+		if s.dyn.Present(id) {
+			err = s.dyn.Leave(id)
+		}
+		s.dynMu.Unlock()
+		if err != nil {
+			// Leave only errors on out-of-range/absent ids, both excluded
+			// above; surfacing a harness bug loudly beats limping on.
+			panic(err)
+		}
+		s.quarantined[id].Store(true)
+		if s.cache != nil {
+			s.cache.AdvanceRound(s.topo.ClusterOf(id))
+		}
+	}
+	for _, id := range release {
+		s.quarantined[id].Store(false)
+		s.dynMu.Lock()
+		var err error
+		if !s.dyn.Present(id) && !s.crashed[id].Load() {
+			err = s.dyn.Rejoin(id)
+		}
+		s.dynMu.Unlock()
+		if err != nil {
+			panic(err)
+		}
+		if s.cache != nil {
+			s.cache.AdvanceRound(s.topo.ClusterOf(id))
+		}
+	}
+}
+
+// clearQuarantine forgets a node's health state without touching the border
+// maintainer — the crash path took over (Crash handles Leave itself, and
+// Recover's Rejoin must not race a stale quarantine flag).
+func (s *System) clearQuarantine(id int) {
+	if !s.cfg.Health.Enabled {
+		return
+	}
+	s.quarantined[id].Store(false)
+	s.healthMu.Lock()
+	s.suspicion[id] = 0
+	s.healthMu.Unlock()
+}
+
+// IsQuarantined reports whether the accrual detector currently holds a node
+// out of border election and provider choice. Out-of-range IDs report
+// false.
+func (s *System) IsQuarantined(id int) bool {
+	if id < 0 || id >= len(s.quarantined) {
+		return false
+	}
+	return s.quarantined[id].Load()
+}
+
+// QuarantinedNodes returns the IDs of currently quarantined nodes in
+// increasing order.
+func (s *System) QuarantinedNodes() []int {
+	var out []int
+	for i := range s.quarantined {
+		if s.quarantined[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SuspicionLevel returns a node's current accrual suspicion score (0 when
+// health is disabled or the ID is out of range).
+func (s *System) SuspicionLevel(id int) float64 {
+	if !s.cfg.Health.Enabled || id < 0 || id >= s.topo.N() {
+		return 0
+	}
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.suspicion[id]
+}
+
+// HealthCounters snapshots the accrual detector's counters.
+func (s *System) HealthCounters() HealthStats {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.healthStats
+}
+
+// BorderSnapshot deep-copies the live incremental border state — membership
+// net of crashes and quarantines, plus the current elections. The chaos
+// property tests compare it against a fresh rebuild after every schedule
+// heals.
+func (s *System) BorderSnapshot() hfc.DynamicSnapshot {
+	s.dynMu.RLock()
+	defer s.dynMu.RUnlock()
+	return s.dyn.Snapshot()
+}
+
+// storeLKG records a successfully resolved route as the last-known-good
+// answer for its request. No-op unless DegradedRoutes is on.
+func (s *System) storeLKG(key routing.CacheKey, res *routing.Result) {
+	if !s.cfg.DegradedRoutes || res == nil || res.Degraded {
+		return
+	}
+	s.lkgMu.Lock()
+	s.lkg[key] = res
+	s.lkgMu.Unlock()
+}
+
+// degradedResult serves the last-known-good route for a request whose fresh
+// resolution timed out, as a shallow copy tagged Degraded. ok is false when
+// degraded serving is off or nothing good was ever known.
+func (s *System) degradedResult(key routing.CacheKey) (*routing.Result, bool) {
+	if !s.cfg.DegradedRoutes {
+		return nil, false
+	}
+	s.lkgMu.RLock()
+	res, ok := s.lkg[key]
+	s.lkgMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	s.dropMu.Lock()
+	s.faults.DegradedRoutes++
+	s.dropMu.Unlock()
+	stale := *res
+	stale.Degraded = true
+	return &stale, true
+}

@@ -74,6 +74,70 @@ type Config struct {
 	// CacheShards overrides the route cache's shard count (0 selects
 	// routing.DefaultCacheShards). Ignored without CacheRoutes.
 	CacheShards int
+	// LinkPolicy, when non-nil, is consulted for every node-to-node
+	// payload message (never for externally injected control traffic) and
+	// can drop, delay, or duplicate it — the hook the chaos engine
+	// (internal/chaos) injects link-level faults through. It must be safe
+	// for concurrent use and is called on the sender's goroutine.
+	LinkPolicy func(from, to int, kind MsgKind) LinkVerdict
+	// Health configures the accrual failure detector (see health.go):
+	// gray nodes — alive but silent or missing deadlines — accumulate
+	// suspicion and are quarantined out of border election and
+	// provider/resolver choice until they behave again. The zero value
+	// disables it.
+	Health HealthConfig
+	// DegradedRoutes keeps a last-known-good result per (source, service
+	// graph, destination): when every Route attempt times out — the
+	// destination or its resolvers partitioned away — the stale result is
+	// served with Result.Degraded set instead of an error. Default off.
+	DegradedRoutes bool
+}
+
+// MsgKind identifies a runtime message class to the LinkPolicy hook.
+type MsgKind int
+
+// The message kinds a LinkPolicy can act on, mirroring the runtime's
+// internal envelope kinds: §4 local-state floods, aggregate border
+// exchange/forwards, the state-round trigger (control; never offered to the
+// policy), §5 route and child RPCs, and data-plane forwards.
+const (
+	MsgLocal     MsgKind = MsgKind(kindLocal)
+	MsgAggregate MsgKind = MsgKind(kindAggregate)
+	MsgTrigger   MsgKind = MsgKind(kindTrigger)
+	MsgRoute     MsgKind = MsgKind(kindRoute)
+	MsgChild     MsgKind = MsgKind(kindChild)
+	MsgData      MsgKind = MsgKind(kindData)
+)
+
+// String names the kind for traces.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgLocal:
+		return "local"
+	case MsgAggregate:
+		return "aggregate"
+	case MsgTrigger:
+		return "trigger"
+	case MsgRoute:
+		return "route"
+	case MsgChild:
+		return "child"
+	case MsgData:
+		return "data"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// LinkVerdict is a LinkPolicy's decision for one message.
+type LinkVerdict struct {
+	// Drop loses the message (counted in FaultStats.DroppedByPolicy).
+	Drop bool
+	// Delay holds delivery back by this much wall-clock time, on top of
+	// any configured DelayPerUnit latency.
+	Delay time.Duration
+	// Duplicate delivers a second copy of the message (after the same
+	// delay) — retransmission storms and routing loops in one knob.
+	Duplicate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +158,7 @@ func (c Config) withDefaults() Config {
 	if c.RPCBackoff == 0 {
 		c.RPCBackoff = 5 * time.Millisecond
 	}
+	c.Health = c.Health.withDefaults()
 	return c
 }
 
@@ -159,6 +224,27 @@ type System struct {
 	// statMu protects the delivered-message counters.
 	statMu sync.Mutex
 	stats  TrafficStats // guarded by statMu
+
+	// lastHeard[i] is the highest protocol round in which some node
+	// received a flood from node i — the silence signal the accrual
+	// detector scores round gaps from. Nil when Health is disabled.
+	lastHeard []atomic.Uint64
+
+	// quarantined[i] marks node i suspected gray: still running and still
+	// receiving traffic, but excluded from border election and
+	// provider/resolver choice until its suspicion decays.
+	quarantined []atomic.Bool
+
+	// healthMu guards the suspicion scores and health counters; it is
+	// never held together with dynMu (transitions decide under healthMu,
+	// then apply under dynMu).
+	healthMu    sync.Mutex
+	suspicion   []float64   // guarded by healthMu
+	healthStats HealthStats // guarded by healthMu
+
+	// lkgMu guards the last-known-good route store for degraded serving.
+	lkgMu sync.RWMutex
+	lkg   map[routing.CacheKey]*routing.Result // guarded by lkgMu
 }
 
 // FaultStats counts fault-injection and recovery events in the runtime.
@@ -186,6 +272,12 @@ type FaultStats struct {
 	// ResolverFailovers counts child requests answered by an alternate
 	// resolver after the designated one failed to reply.
 	ResolverFailovers int
+	// DroppedByPolicy and DuplicatedByPolicy count messages the LinkPolicy
+	// hook (chaos injection) lost or doubled.
+	DroppedByPolicy, DuplicatedByPolicy int
+	// DegradedRoutes counts Route calls answered from the last-known-good
+	// store after every fresh attempt timed out.
+	DegradedRoutes int
 }
 
 // TrafficStats counts messages the runtime actually delivered, by kind.
@@ -302,17 +394,30 @@ func New(topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, err
 		s.dropRng = rand.New(rand.NewSource(cfg.DropSeed))
 	}
 	s.crashed = make([]atomic.Bool, topo.N())
+	s.quarantined = make([]atomic.Bool, topo.N())
+	if cfg.Health.Enabled {
+		s.lastHeard = make([]atomic.Uint64, topo.N())
+		s.healthMu.Lock()
+		s.suspicion = make([]float64, topo.N())
+		s.healthMu.Unlock()
+	}
+	if cfg.DegradedRoutes {
+		s.lkgMu.Lock()
+		s.lkg = make(map[routing.CacheKey]*routing.Result)
+		s.lkgMu.Unlock()
+	}
 	s.nodes = make([]*node, topo.N())
 	for i := range s.nodes {
 		view, err := topo.View(i)
 		if err != nil {
 			return nil, fmt.Errorf("overlay: %w", err)
 		}
-		// The runtime's crash registry doubles as every node's failure
-		// detector: border selection and intra-cluster provider choice
-		// skip nodes it reports dead. A deployment would plug a gossip or
-		// heartbeat detector in here.
-		view.Alive = func(id int) bool { return !s.IsCrashed(id) }
+		// The runtime's crash registry plus the accrual quarantine set
+		// double as every node's failure detector: border selection and
+		// intra-cluster provider choice skip nodes reported dead or
+		// suspected gray. A deployment would plug a gossip or heartbeat
+		// detector in here.
+		view.Alive = func(id int) bool { return !s.IsCrashed(id) && !s.IsQuarantined(id) }
 		// Border lookups consult the incrementally maintained live
 		// elections first (§5.2): with no churn they return exactly the
 		// static primaries; after a crash they return the re-elected
@@ -395,14 +500,29 @@ func (s *System) Stop() error {
 // send delivers a message to node `to`, optionally after the simulated
 // network delay from node `from` (-1 for external injection, no delay).
 // Messages to crashed nodes and sends after Stop are counted no-ops; all
-// payload kinds are subject to the configured drop rates (trigger messages
-// are control-plane injections and never drop randomly).
+// payload kinds are subject to the configured drop rates and the LinkPolicy
+// hook (trigger messages are control-plane injections and never drop
+// randomly; external injections never face the link policy — a client's
+// request enters at its destination, it does not cross simulated links).
 func (s *System) send(from, to int, m message) {
 	if s.crashed[to].Load() {
 		s.dropMu.Lock()
 		s.faults.DroppedToCrashed++
 		s.dropMu.Unlock()
 		return
+	}
+	var extra time.Duration
+	duplicate := false
+	if s.cfg.LinkPolicy != nil && from >= 0 && from != to && m.kind != kindTrigger {
+		v := s.cfg.LinkPolicy(from, to, MsgKind(m.kind))
+		if v.Drop {
+			s.dropMu.Lock()
+			s.faults.DroppedByPolicy++
+			s.dropMu.Unlock()
+			return
+		}
+		extra = v.Delay
+		duplicate = v.Duplicate
 	}
 	if s.dropRng != nil && m.kind != kindTrigger {
 		rate := s.cfg.DropRate
@@ -421,6 +541,22 @@ func (s *System) send(from, to int, m message) {
 			}
 		}
 	}
+	s.deliver(from, to, m, extra)
+	if duplicate {
+		s.dropMu.Lock()
+		s.faults.DuplicatedByPolicy++
+		s.dropMu.Unlock()
+		// The copy takes the same delay; the protocol's sequence checks
+		// make duplicated floods idempotent, RPC replies park in their
+		// buffered reply channels.
+		s.deliver(from, to, m, extra)
+	}
+}
+
+// deliver admits one message past the Stop gate and hands it to the
+// destination mailbox, after the simulated link delay (configured latency
+// plus any policy-injected extra) when there is one.
+func (s *System) deliver(from, to int, m message, extra time.Duration) {
 	s.sendMu.RLock()
 	if !s.accepting {
 		s.sendMu.RUnlock()
@@ -446,6 +582,9 @@ func (s *System) send(from, to int, m message) {
 			s.stats.Data++
 		}
 		s.statMu.Unlock()
+		if s.lastHeard != nil && from >= 0 && (m.kind == kindLocal || m.kind == kindAggregate) {
+			s.noteHeard(from, m.seq)
+		}
 	}
 	deliver := func() {
 		// Safe against Stop: the message is registered in inflight, and
@@ -453,8 +592,11 @@ func (s *System) send(from, to int, m message) {
 		s.nodes[to].inbox <- m
 		count()
 	}
+	d := extra
 	if s.cfg.DelayPerUnit > 0 && from >= 0 && from != to {
-		d := time.Duration(s.topo.Dist(from, to)) * s.cfg.DelayPerUnit
+		d += time.Duration(s.topo.Dist(from, to)) * s.cfg.DelayPerUnit
+	}
+	if d > 0 {
 		time.AfterFunc(d, deliver)
 		return
 	}
@@ -484,6 +626,12 @@ func (s *System) send(from, to int, m message) {
 // neither receive the trigger nor broadcast.
 func (s *System) TriggerStateRound() {
 	seq := s.round.Add(1)
+	// Health transitions happen on the protocol tick, before the round's
+	// floods go out: re-elected borders take effect for this round, and
+	// the evaluation point is deterministic given the message history.
+	if s.cfg.Health.Enabled {
+		s.evaluateHealth(seq)
+	}
 	// A full protocol round refreshes every cluster's state: all cached
 	// routes are stale against what nodes are about to learn.
 	if s.cache != nil {
@@ -541,9 +689,16 @@ func (s *System) UpdateCapability(node int, set svc.CapabilitySet) error {
 	n.state.SCTP[node] = set.Clone()
 	n.st.Unlock()
 	// Cached routes through this proxy's cluster may rely on the old
-	// deployment; invalidate them.
+	// deployment; invalidate them. The last-known-good store is cleared
+	// outright: degraded serving promises stale-but-valid paths, and
+	// validity is against the deployment, which just changed.
 	if s.cache != nil {
 		s.cache.AdvanceRound(s.topo.ClusterOf(node))
+	}
+	if s.cfg.DegradedRoutes {
+		s.lkgMu.Lock()
+		clear(s.lkg)
+		s.lkgMu.Unlock()
 	}
 	return nil
 }
@@ -581,7 +736,9 @@ func (s *System) Converged() (bool, error) {
 // the composed service path, exactly as a client would. Each attempt is
 // bounded by Config.RouteTimeout; missed deadlines (a crashed or
 // unreachable destination, a dropped request) are retried with exponential
-// backoff up to Config.RPCRetries times before failing with ErrRPCTimeout.
+// backoff up to Config.RPCRetries times before failing with ErrRPCTimeout —
+// or, with Config.DegradedRoutes, falling back to the last-known-good
+// result for the same request, tagged Degraded (stale but never invented).
 func (s *System) Route(req svc.Request) (*routing.Result, error) {
 	if err := req.Validate(s.topo.N()); err != nil {
 		return nil, err
@@ -589,12 +746,16 @@ func (s *System) Route(req svc.Request) (*routing.Result, error) {
 	var key routing.CacheKey
 	var canonical string
 	var version uint64
-	if s.cache != nil {
+	if s.cache != nil || s.cfg.DegradedRoutes {
 		canonical = req.SG.Canonical()
 		key = routing.NewCacheKeyCanonical(req.Source, req.Dest, canonical)
+	}
+	if s.cache != nil {
 		if v, ok := s.cache.Get(key, canonical); ok {
 			// Cached results are shared read-only values.
-			return v.(*routing.Result), nil
+			res := v.(*routing.Result)
+			s.storeLKG(key, res)
+			return res, nil
 		}
 		version = s.cache.Version()
 	}
@@ -609,13 +770,28 @@ func (s *System) Route(req svc.Request) (*routing.Result, error) {
 		select {
 		case out := <-reply:
 			timer.Stop()
-			if s.cache != nil && out.err == nil && out.result != nil {
-				s.cache.Put(key, canonical, out.result, s.routeClusters(out.result, req), version)
+			s.noteRPCOutcome(req.Dest, true)
+			if out.err == nil && out.result != nil {
+				if s.cache != nil {
+					s.cache.Put(key, canonical, out.result, s.routeClusters(out.result, req), version)
+				}
+				s.storeLKG(key, out.result)
+			}
+			if out.err != nil && errors.Is(out.err, ErrRPCTimeout) {
+				// The destination answered but could not reach the
+				// resolvers it needed — partitioned mid-resolution.
+				if res, ok := s.degradedResult(key); ok {
+					return res, nil
+				}
 			}
 			return out.result, out.err
 		case <-timer.C:
+			s.noteRPCOutcome(req.Dest, false)
 		}
 		if attempt == s.cfg.RPCRetries {
+			if res, ok := s.degradedResult(key); ok {
+				return res, nil
+			}
 			return nil, fmt.Errorf("overlay: route to %d after %d attempts: %w", req.Dest, attempt+1, ErrRPCTimeout)
 		}
 		s.noteRPCRetry()
@@ -1000,11 +1176,13 @@ func (s *rpcSolver) solveAt(child routing.ChildRequest) (*routing.Path, error) {
 		select {
 		case out := <-reply:
 			timer.Stop()
+			sys.noteRPCOutcome(child.Resolver, true)
 			if out.err != nil {
 				return nil, fmt.Errorf("overlay: child request at %d: %w", child.Resolver, out.err)
 			}
 			return out.path, nil
 		case <-timer.C:
+			sys.noteRPCOutcome(child.Resolver, false)
 		}
 		if attempt == sys.cfg.RPCRetries {
 			return nil, fmt.Errorf("overlay: child request at %d: %d attempts: %w", child.Resolver, attempt+1, ErrRPCTimeout)

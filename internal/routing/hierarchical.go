@@ -126,6 +126,12 @@ type Result struct {
 	ChildPaths []*Path
 	// Path is the composed final service path (step 4).
 	Path *Path
+	// Degraded marks a result served from last-known-good state because a
+	// fresh resolution was impossible (resolver partitioned or every
+	// attempt timed out). The path was valid when computed but may be
+	// stale against the current deployment; callers that need freshness
+	// must retry once the fault heals. Fresh resolutions never set it.
+	Degraded bool
 }
 
 // Route runs the full §5 procedure for req.

@@ -27,6 +27,11 @@ type LocalIntraSolver struct {
 	// LazyIndexes across solvers serving the same states — serve.Engine
 	// does — so indexes are built once per state round, not per request.
 	Indexes *LazyIndexes
+	// Exclude, when non-nil, removes nodes from provider selection — the
+	// hook an availability tracker (serve.Engine's unavailable set) filters
+	// suspected-partitioned proxies through. It must be safe for concurrent
+	// use.
+	Exclude func(node int) bool
 }
 
 var _ IntraSolver = (*LocalIntraSolver)(nil)
@@ -75,6 +80,20 @@ func (s *LocalIntraSolver) SolveChild(child ChildRequest) (*Path, error) {
 			var out []int
 			for _, m := range members {
 				if set, ok := resolver.SCTP[m]; ok && set.Has(x) {
+					out = append(out, m)
+				}
+			}
+			return out
+		}
+	}
+	if s.Exclude != nil {
+		inner := providers
+		providers = func(x svc.Service) []int {
+			all := inner(x)
+			// The index may hand back a shared slice; filter into a copy.
+			out := make([]int, 0, len(all))
+			for _, m := range all {
+				if !s.Exclude(m) {
 					out = append(out, m)
 				}
 			}

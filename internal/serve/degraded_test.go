@@ -1,0 +1,220 @@
+package serve_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hfc/internal/routing"
+	"hfc/internal/serve"
+	"hfc/internal/svc"
+)
+
+// warmRequest resolves one generated request fresh and returns it with its
+// result, so degraded tests start from a populated last-known-good store.
+func warmRequest(t *testing.T, eng *serve.Engine, caps []svc.CapabilitySet, seed int64) (svc.Request, *routing.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	req, err := gen.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	res, err := eng.ResolveDetailed(req)
+	if err != nil {
+		t.Fatalf("ResolveDetailed: %v", err)
+	}
+	if res.Degraded {
+		t.Fatal("fresh resolution tagged degraded")
+	}
+	return req, res
+}
+
+func TestEngineDegradedServesLastKnownGood(t *testing.T) {
+	_, eng, caps := buildEngine(t, 81, 30, serve.Config{})
+	req, fresh := warmRequest(t, eng, caps, 82)
+
+	if err := eng.SetUnavailable(req.Dest, true); err != nil {
+		t.Fatalf("SetUnavailable: %v", err)
+	}
+	if got := eng.UnavailableNodes(); !reflect.DeepEqual(got, []int{req.Dest}) {
+		t.Fatalf("UnavailableNodes = %v, want [%d]", got, req.Dest)
+	}
+	deg, err := eng.ResolveDetailed(req)
+	if err != nil {
+		t.Fatalf("ResolveDetailed while dest unavailable: %v", err)
+	}
+	if !deg.Degraded {
+		t.Error("result served during outage not tagged degraded")
+	}
+	if !reflect.DeepEqual(deg.Path, fresh.Path) || !reflect.DeepEqual(deg.CSP, fresh.CSP) {
+		t.Error("degraded result differs from last known good")
+	}
+	if err := deg.Path.Validate(req, eng.Capabilities()); err != nil {
+		t.Errorf("degraded path invalid: %v", err)
+	}
+	if fresh.Degraded {
+		t.Error("stored last-known-good result was mutated")
+	}
+	st := eng.Stats()
+	if st.Degraded != 1 || st.UnavailableNodes != 1 {
+		t.Errorf("stats = %+v, want Degraded=1 UnavailableNodes=1", st)
+	}
+
+	// Recovery: the next resolution is fresh again.
+	if err := eng.SetUnavailable(req.Dest, false); err != nil {
+		t.Fatalf("SetUnavailable(recover): %v", err)
+	}
+	if n := eng.Stats().UnavailableNodes; n != 0 {
+		t.Fatalf("UnavailableNodes after recovery = %d, want 0", n)
+	}
+	res, err := eng.ResolveDetailed(req)
+	if err != nil {
+		t.Fatalf("ResolveDetailed after recovery: %v", err)
+	}
+	if res.Degraded {
+		t.Error("post-recovery resolution still tagged degraded")
+	}
+}
+
+func TestEngineUnavailableWithoutLastKnownGood(t *testing.T) {
+	_, eng, caps := buildEngine(t, 91, 30, serve.Config{})
+	rng := rand.New(rand.NewSource(92))
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	req, err := gen.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if err := eng.SetUnavailable(req.Dest, true); err != nil {
+		t.Fatalf("SetUnavailable: %v", err)
+	}
+	if _, err := eng.ResolveDetailed(req); !errors.Is(err, serve.ErrUnavailable) {
+		t.Fatalf("ResolveDetailed = %v, want ErrUnavailable", err)
+	}
+	if st := eng.Stats(); st.Degraded != 0 {
+		t.Errorf("Degraded = %d, want 0", st.Degraded)
+	}
+}
+
+func TestEngineUpdateCapabilityClearsLastKnownGood(t *testing.T) {
+	_, eng, caps := buildEngine(t, 101, 30, serve.Config{})
+	req, _ := warmRequest(t, eng, caps, 102)
+
+	if err := eng.SetUnavailable(req.Dest, true); err != nil {
+		t.Fatalf("SetUnavailable: %v", err)
+	}
+	if res, err := eng.ResolveDetailed(req); err != nil || !res.Degraded {
+		t.Fatalf("degraded serve before update: res=%v err=%v", res, err)
+	}
+	// A capability update invalidates every last-known-good route: degraded
+	// serving promises stale-but-valid, and validity is per deployment.
+	other := (req.Dest + 1) % eng.Topology().N()
+	if err := eng.UpdateCapability(other, caps[other].Clone()); err != nil {
+		t.Fatalf("UpdateCapability: %v", err)
+	}
+	if _, err := eng.ResolveDetailed(req); !errors.Is(err, serve.ErrUnavailable) {
+		t.Fatalf("ResolveDetailed after update = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestEngineExcludesUnavailableProvider(t *testing.T) {
+	_, eng, caps := buildEngine(t, 111, 30, serve.Config{})
+
+	// Install a unique service on exactly two nodes; resolution must avoid
+	// whichever one is marked unavailable.
+	const flip svc.Service = "flip-degraded"
+	a, b := 2, 17
+	for _, n := range []int{a, b} {
+		withFlip := caps[n].Clone()
+		withFlip.Add(flip)
+		if err := eng.UpdateCapability(n, withFlip); err != nil {
+			t.Fatalf("UpdateCapability(%d): %v", n, err)
+		}
+	}
+	sg, err := svc.Linear(flip)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	req := svc.Request{Source: 0, Dest: 1, SG: sg}
+	p, err := eng.Resolve(req)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	first := providerOf(t, p, flip)
+	if first != a && first != b {
+		t.Fatalf("flip served by node %d, want %d or %d", first, a, b)
+	}
+
+	// Mark the chosen provider unavailable: the cached route depends on its
+	// cluster and is invalidated, and the fresh resolution must use the
+	// other provider.
+	if err := eng.SetUnavailable(first, true); err != nil {
+		t.Fatalf("SetUnavailable: %v", err)
+	}
+	p, err = eng.Resolve(req)
+	if err != nil {
+		t.Fatalf("Resolve with provider down: %v", err)
+	}
+	second := providerOf(t, p, flip)
+	if second == first {
+		t.Fatalf("flip still served by unavailable node %d", first)
+	}
+	if second != a && second != b {
+		t.Fatalf("flip served by node %d, want %d or %d", second, a, b)
+	}
+
+	// Both providers down: a fresh computation is impossible, so the engine
+	// falls back to the last known good route, tagged degraded.
+	if err := eng.SetUnavailable(second, true); err != nil {
+		t.Fatalf("SetUnavailable(second): %v", err)
+	}
+	res, err := eng.ResolveDetailed(req)
+	if err != nil {
+		t.Fatalf("ResolveDetailed with all providers down: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("fallback result not tagged degraded")
+	}
+	if got := providerOf(t, res.Path, flip); got != second {
+		t.Errorf("degraded route served by node %d, want last known good %d", got, second)
+	}
+	if st := eng.Stats(); st.Degraded == 0 || st.UnavailableNodes != 2 {
+		t.Errorf("stats = %+v, want Degraded>0 UnavailableNodes=2", st)
+	}
+}
+
+func TestEngineSetUnavailableValidation(t *testing.T) {
+	_, eng, _ := buildEngine(t, 121, 20, serve.Config{})
+	if err := eng.SetUnavailable(-1, true); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := eng.SetUnavailable(eng.Topology().N(), true); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if eng.IsUnavailable(-1) || eng.IsUnavailable(10_000) {
+		t.Error("out-of-range node reported unavailable")
+	}
+	// Marking twice is idempotent: the count moves once per transition.
+	if err := eng.SetUnavailable(3, true); err != nil {
+		t.Fatalf("SetUnavailable: %v", err)
+	}
+	if err := eng.SetUnavailable(3, true); err != nil {
+		t.Fatalf("SetUnavailable(again): %v", err)
+	}
+	if n := eng.Stats().UnavailableNodes; n != 1 {
+		t.Errorf("UnavailableNodes = %d, want 1", n)
+	}
+	if err := eng.SetUnavailable(3, false); err != nil {
+		t.Fatalf("SetUnavailable(clear): %v", err)
+	}
+	if n := eng.Stats().UnavailableNodes; n != 0 {
+		t.Errorf("UnavailableNodes after clear = %d, want 0", n)
+	}
+}

@@ -52,7 +52,18 @@ type Stats struct {
 	// Deduped counts resolutions answered by joining another caller's
 	// in-flight computation of the same request.
 	Deduped int64
+	// Degraded counts resolutions answered from the last-known-good store
+	// because the destination proxy was marked unavailable (or resolution
+	// failed while nodes were unavailable); see SetUnavailable.
+	Degraded int64
+	// UnavailableNodes is how many proxies are currently marked
+	// unavailable.
+	UnavailableNodes int
 }
+
+// ErrUnavailable is returned when a request's destination proxy is marked
+// unavailable and no last-known-good route exists to serve degraded.
+var ErrUnavailable = errors.New("serve: destination unavailable")
 
 // flightKey identifies one deduplicatable computation: the route-cache key
 // plus the cache version the computation was admitted under. Versioning the
@@ -102,8 +113,23 @@ type Engine struct {
 	flightMu sync.Mutex
 	flight   map[flightKey]*flightCall // guarded by flightMu
 
+	// unavailable[i] marks proxy i partitioned/unreachable per an external
+	// failure detector (SetUnavailable): fresh resolutions exclude it from
+	// provider and border selection, and requests destined to it are served
+	// from the last-known-good store, tagged degraded.
+	unavailable []atomic.Bool
+	unavailN    atomic.Int64
+
+	// lkgMu guards the last-known-good store: the most recent successful
+	// result per request key, serving degraded answers while the fresh
+	// path is impossible. Cleared on capability updates — degraded serving
+	// promises stale-but-valid, and validity is against the deployment.
+	lkgMu sync.RWMutex
+	lkg   map[routing.CacheKey]*routing.Result // guarded by lkgMu
+
 	resolutions atomic.Int64
 	deduped     atomic.Int64
+	degraded    atomic.Int64
 }
 
 // NewEngine builds an engine over a bootstrapped topology with converged
@@ -138,18 +164,22 @@ func NewEngine(topo *hfc.Topology, caps []svc.CapabilitySet, states []state.Node
 	indexes := routing.NewLazyIndexes(statesCopy, func(node int) []int {
 		return topo.Members(topo.ClusterOf(node))
 	}, cache.Version)
-	return &Engine{
-		topo:    topo,
-		relax:   cfg.Relax,
-		workers: cfg.Workers,
-		caps:    capsClone,
-		states:  statesCopy,
-		cache:   cache,
-		indexes: indexes,
-		solver:  &routing.LocalIntraSolver{Topo: topo, States: statesCopy, Indexes: indexes},
-		views:   make([]atomic.Pointer[hfc.NodeView], topo.N()),
-		flight:  make(map[flightKey]*flightCall),
-	}, nil
+	e := &Engine{
+		topo:        topo,
+		relax:       cfg.Relax,
+		workers:     cfg.Workers,
+		caps:        capsClone,
+		states:      statesCopy,
+		cache:       cache,
+		indexes:     indexes,
+		solver:      &routing.LocalIntraSolver{Topo: topo, States: statesCopy, Indexes: indexes},
+		views:       make([]atomic.Pointer[hfc.NodeView], topo.N()),
+		flight:      make(map[flightKey]*flightCall),
+		unavailable: make([]atomic.Bool, topo.N()),
+		lkg:         make(map[routing.CacheKey]*routing.Result),
+	}
+	e.solver.Exclude = e.IsUnavailable
+	return e, nil
 }
 
 // view returns dest's cached topology view, building it on first use.
@@ -161,6 +191,9 @@ func (e *Engine) view(dest int) (*hfc.NodeView, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The availability set doubles as every view's failure detector, so
+	// border selection skips unavailable endpoints via backup pairs.
+	v.Alive = func(id int) bool { return !e.IsUnavailable(id) }
 	// A concurrent builder may have won; either view is identical.
 	e.views[dest].CompareAndSwap(nil, v)
 	return e.views[dest].Load(), nil
@@ -185,6 +218,16 @@ func (e *Engine) ResolveDetailed(req svc.Request) (*routing.Result, error) {
 	}
 	canonical := req.SG.Canonical()
 	key := routing.NewCacheKeyCanonical(req.Source, req.Dest, canonical)
+	if e.unavailable[req.Dest].Load() {
+		// The destination resolver is unreachable, so a fresh §5
+		// computation (which that proxy would perform) is impossible.
+		// Serve the last-known-good route tagged degraded — stale may be
+		// slower, never wrong — or report the outage.
+		if res := e.degradedResult(key); res != nil {
+			return res, nil
+		}
+		return nil, ErrUnavailable
+	}
 	if v, ok := e.cache.Get(key, canonical); ok {
 		return v.(*routing.Result), nil
 	}
@@ -209,6 +252,14 @@ func (e *Engine) ResolveDetailed(req svc.Request) (*routing.Result, error) {
 	e.flightMu.Unlock()
 
 	c.res, c.err = e.compute(req, key, canonical, version)
+	if c.err != nil && e.unavailN.Load() > 0 {
+		// Resolution failed while nodes are marked unavailable — likely
+		// every provider of some service sits behind the partition. Fall
+		// back to the last-known-good route; waiters share the copy.
+		if res := e.degradedResult(key); res != nil {
+			c.res, c.err = res, nil
+		}
+	}
 	e.flightMu.Lock()
 	delete(e.flight, fk)
 	e.flightMu.Unlock()
@@ -241,7 +292,74 @@ func (e *Engine) compute(req svc.Request, key routing.CacheKey, canonical string
 		return nil, err
 	}
 	e.cache.Put(key, canonical, res, e.routeClusters(res, req), version)
+	e.storeLKG(key, res)
 	return res, nil
+}
+
+// storeLKG records a successful fresh result as the last-known-good answer
+// for its key. Degraded results never re-enter the store.
+func (e *Engine) storeLKG(key routing.CacheKey, res *routing.Result) {
+	if res == nil || res.Degraded {
+		return
+	}
+	e.lkgMu.Lock()
+	e.lkg[key] = res
+	e.lkgMu.Unlock()
+}
+
+// degradedResult returns a degraded-tagged copy of the last-known-good
+// result for key (nil if none exists), counting the degraded serve. The
+// stored result stays untouched — callers own the copy's top level.
+func (e *Engine) degradedResult(key routing.CacheKey) *routing.Result {
+	e.lkgMu.RLock()
+	res, ok := e.lkg[key]
+	e.lkgMu.RUnlock()
+	if !ok {
+		return nil
+	}
+	cp := *res
+	cp.Degraded = true
+	e.degraded.Add(1)
+	return &cp
+}
+
+// SetUnavailable marks (down=true) or clears (down=false) a proxy as
+// unavailable, as driven by an external failure detector — e.g. the overlay's
+// accrual health score quarantining a gray node. While marked, the proxy is
+// excluded from provider selection and border election in fresh resolutions,
+// and requests destined to it are served from the last-known-good store,
+// tagged degraded. Each transition invalidates the proxy's cluster in the
+// route cache, since cached routes were computed under the old availability.
+func (e *Engine) SetUnavailable(node int, down bool) error {
+	if node < 0 || node >= e.topo.N() {
+		return fmt.Errorf("serve: node %d out of range [0,%d)", node, e.topo.N())
+	}
+	if e.unavailable[node].CompareAndSwap(!down, down) {
+		if down {
+			e.unavailN.Add(1)
+		} else {
+			e.unavailN.Add(-1)
+		}
+		e.cache.AdvanceRound(e.topo.ClusterOf(node))
+	}
+	return nil
+}
+
+// IsUnavailable reports whether a proxy is currently marked unavailable.
+// Out-of-range IDs report available.
+func (e *Engine) IsUnavailable(node int) bool {
+	return node >= 0 && node < len(e.unavailable) && e.unavailable[node].Load()
+}
+
+// UnavailableNodes lists the proxies currently marked unavailable, ascending.
+func (e *Engine) UnavailableNodes() []int {
+	var out []int
+	for i := range e.unavailable {
+		if e.unavailable[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // routeClusters lists every cluster a resolved route depends on — both
@@ -305,6 +423,11 @@ func (e *Engine) UpdateCapability(node int, set svc.CapabilitySet) error {
 	// on the cluster) or blocked on the read lock and will see the new
 	// states in full.
 	e.cache.AdvanceRound(e.topo.ClusterOf(node))
+	// Last-known-good routes were validated against the old deployment;
+	// degraded serving promises stale-but-valid, so drop them all.
+	e.lkgMu.Lock()
+	clear(e.lkg)
+	e.lkgMu.Unlock()
 	return nil
 }
 
@@ -338,8 +461,10 @@ func (e *Engine) Topology() *hfc.Topology { return e.topo }
 // Stats snapshots the serving counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Cache:       e.cache.Stats(),
-		Resolutions: e.resolutions.Load(),
-		Deduped:     e.deduped.Load(),
+		Cache:            e.cache.Stats(),
+		Resolutions:      e.resolutions.Load(),
+		Deduped:          e.deduped.Load(),
+		Degraded:         e.degraded.Load(),
+		UnavailableNodes: int(e.unavailN.Load()),
 	}
 }
