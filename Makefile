@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-full bench-compare bench-scale chaos fmt
+.PHONY: all build test race lint vet bench bench-full bench-compare bench-scale chaos fmt
 
 # Output snapshot for the regression-gate benchmarks (see cmd/benchgate).
 BENCH_OUT ?= BENCH_pr6.json
@@ -20,11 +20,20 @@ race:
 	$(GO) test -race ./...
 
 # lint runs go vet plus hfcvet, the project's own analyzer suite
-# (lockscope, guardedby, detrand, floatdist, errsweep + selected std
-# passes). See DESIGN.md "Concurrency & determinism invariants".
+# (lockscope, guardedby, detrand, floatdist, errsweep plus the v2
+# flow-sensitive passes lockorder, maporder, hotalloc, atomicmix, and
+# selected std passes). See DESIGN.md "Concurrency & determinism
+# invariants".
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/hfcvet ./...
+
+# vet is the machine-readable variant: the registered-analyzer roster
+# followed by the full suite with -json diagnostics (one JSON object per
+# package, keyed by analyzer), for tooling that consumes findings.
+vet:
+	$(GO) run ./cmd/hfcvet -list
+	$(GO) run ./cmd/hfcvet -json ./...
 
 # bench runs the BenchmarkGate* regression gates and snapshots ns/op; CI
 # compares a fresh snapshot against the newest committed BENCH_*.json and

@@ -251,11 +251,8 @@ func BenchmarkGateSolveChildIndexed(b *testing.B) {
 		Resolver: members[0],
 	}
 	for _, m := range members {
-		for s := range caps[m] {
-			child.Services = []svc.Service{s}
-			break
-		}
-		if child.Services != nil {
+		if ss := caps[m].Sorted(); len(ss) > 0 {
+			child.Services = []svc.Service{ss[0]}
 			break
 		}
 	}

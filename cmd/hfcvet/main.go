@@ -1,21 +1,26 @@
 // Command hfcvet machine-checks the repo's concurrency and determinism
-// invariants: the four custom analyzers (lockscope, guardedby, detrand,
-// floatdist) plus the errsweep error-return sweep, alongside a selection
-// of the standard go vet passes.
+// invariants: the v1 analyzers (lockscope, guardedby, detrand, floatdist,
+// errsweep) and the v2 flow-sensitive suite (lockorder, maporder,
+// hotalloc, atomicmix), alongside a selection of the standard go vet
+// passes.
 //
 // Usage:
 //
-//	go run ./cmd/hfcvet ./...
+//	go run ./cmd/hfcvet ./...          # whole-tree check
+//	go run ./cmd/hfcvet -list          # print the registered analyzers
+//	go run ./cmd/hfcvet -json ./...    # machine-readable diagnostics
 //
-// Internally the binary speaks the unitchecker protocol, so the command
-// above re-executes itself as `go vet -vettool=<self> <patterns>`: the
-// go tool handles package loading, caching and dependency facts, which
-// keeps hfcvet runs incremental and proxy-free (the analysis framework
-// is vendored from the Go toolchain's own copy of x/tools).
+// Internally the binary speaks the unitchecker protocol, so the check
+// re-executes itself as `go vet -vettool=<self> <patterns>`: the go tool
+// handles package loading, caching and dependency facts — which is what
+// lets lockorder assemble its cross-package lock graph incrementally —
+// and stays proxy-free (the analysis framework is vendored from the Go
+// toolchain's own copy of x/tools).
 //
 // Suppressions: a diagnostic from analyzer NAME is silenced by a comment
 // `//hfcvet:ignore NAME <justification>` on the same line or the line
-// above. See DESIGN.md "Concurrency & determinism invariants".
+// above; a suppression that no longer matches any diagnostic is itself
+// reported as stale. See DESIGN.md "Concurrency & determinism invariants".
 package main
 
 import (
@@ -49,21 +54,30 @@ import (
 	"golang.org/x/tools/go/analysis/passes/unusedresult"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"hfc/internal/analysis/atomicmix"
 	"hfc/internal/analysis/detrand"
 	"hfc/internal/analysis/errsweep"
 	"hfc/internal/analysis/floatdist"
 	"hfc/internal/analysis/guardedby"
+	"hfc/internal/analysis/hotalloc"
+	"hfc/internal/analysis/lockorder"
 	"hfc/internal/analysis/lockscope"
+	"hfc/internal/analysis/maporder"
 )
 
-// analyzers is the full hfcvet suite: custom invariants first, then the
-// go vet standard passes that apply to a pure-Go repo.
+// analyzers is the full hfcvet suite: custom invariants first (v1 then
+// the v2 flow-sensitive passes), then the go vet standard passes that
+// apply to a pure-Go repo.
 var analyzers = []*analysis.Analyzer{
 	lockscope.Analyzer,
 	guardedby.Analyzer,
 	detrand.Analyzer,
 	floatdist.Analyzer,
 	errsweep.Analyzer,
+	lockorder.Analyzer,
+	maporder.Analyzer,
+	hotalloc.Analyzer,
+	atomicmix.Analyzer,
 
 	assign.Analyzer,
 	atomic.Analyzer,
@@ -94,17 +108,34 @@ func main() {
 	}
 
 	// Driver mode: hand package loading to the go tool, pointing it back
-	// at this binary as the vet tool.
+	// at this binary as the vet tool. -list and -json are driver flags;
+	// everything else is a package pattern.
+	var jsonOut bool
+	var patterns []string
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-list", "--list":
+			listAnalyzers()
+			return
+		case "-json", "--json":
+			jsonOut = true
+		default:
+			patterns = append(patterns, a)
+		}
+	}
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hfcvet:", err)
 		os.Exit(1)
 	}
-	patterns := os.Args[1:]
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	args := []string{"vet", "-vettool=" + self}
+	if jsonOut {
+		args = append(args, "-json")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
 	if err := cmd.Run(); err != nil {
@@ -114,6 +145,18 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "hfcvet:", err)
 		os.Exit(1)
+	}
+}
+
+// listAnalyzers prints the registered analyzers, one per line, with the
+// first sentence of their doc — the contract surfaced by `hfcvet -list`.
+func listAnalyzers() {
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("%-18s %s\n", a.Name, doc)
 	}
 }
 

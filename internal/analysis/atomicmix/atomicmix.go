@@ -1,0 +1,205 @@
+// Package atomicmix defines an Analyzer that flags mixed atomic and
+// plain access to the same variable.
+//
+// A field updated through sync/atomic (atomic.AddUint64(&s.n, 1)) makes
+// a silent contract: every other access must also be atomic, or hold a
+// mutex that the atomic writers also respect. A plain `s.n++` or
+// `if s.n > 0` next to atomic updates compiles fine, usually works, and
+// races under load — the exact class of bug the typed atomic wrappers
+// (atomic.Uint64 fields) were introduced to prevent. This codebase uses
+// the typed wrappers for new state, but the analyzer guards the legacy
+// pointer-style sites and anything contributors bring in.
+//
+// Per package, the analyzer collects every variable whose address is
+// passed to a sync/atomic operation, then reports each plain read or
+// write of that variable performed with no mutex held (the lockwalk
+// held-set; functions following the fooLocked naming convention are
+// exempt, as in the guardedby pass).
+//
+// Suppress an intentional site with
+//
+//	//hfcvet:ignore atomicmix <why this access cannot race>
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/ignore"
+	"hfc/internal/analysis/lockwalk"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag variables accessed both through sync/atomic and through plain loads/stores without a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	atomicVars := collectAtomicVars(pass)
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+	dirs := ignore.Parse(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isLockedHelper(fn.Name.Name) {
+				continue
+			}
+			checkFunc(pass, dirs, atomicVars, fn.Body)
+		}
+	}
+	dirs.ReportUnused(pass)
+	return nil, nil
+}
+
+func isLockedHelper(name string) bool {
+	return strings.HasSuffix(name, "Locked") && name != "Locked"
+}
+
+// collectAtomicVars maps every variable object whose address feeds a
+// sync/atomic call to one witnessing position, and remembers the exact
+// &x argument nodes so the atomic sites themselves are not re-reported
+// as plain accesses.
+type atomicUse struct {
+	witness string
+	addrOf  map[ast.Expr]bool
+}
+
+func collectAtomicVars(pass *analysis.Pass) map[types.Object]*atomicUse {
+	out := map[types.Object]*atomicUse{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := addressedObject(pass, un.X)
+				if obj == nil {
+					continue
+				}
+				use := out[obj]
+				if use == nil {
+					p := pass.Fset.Position(call.Pos())
+					use = &atomicUse{
+						witness: filepath.Base(p.Filename) + ":" + itoa(p.Line),
+						addrOf:  map[ast.Expr]bool{},
+					}
+					out[obj] = use
+				}
+				use.addrOf[un.X] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// addressedObject resolves &x or &s.f to the variable object.
+func addressedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// isAtomicCall recognizes sync/atomic package-level operations.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// checkFunc reports plain, unguarded accesses to atomic variables in one
+// function body.
+func checkFunc(pass *analysis.Pass, dirs *ignore.Directives, atomicVars map[types.Object]*atomicUse, body *ast.BlockStmt) {
+	lockwalk.Walk(pass, body, func(n ast.Node, held lockwalk.Held) {
+		if len(held) > 0 {
+			return // some mutex guards this access; the mix is deliberate
+		}
+		var obj types.Object
+		var at ast.Node
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				obj = sel.Obj()
+				at = n.Sel
+			}
+		case *ast.Ident:
+			obj = pass.TypesInfo.ObjectOf(n)
+			// Field objects are handled through their SelectorExpr; the
+			// selector's Sel ident resolves to the same object and would
+			// double-report.
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return
+			}
+			at = n
+		default:
+			return
+		}
+		use, tracked := atomicVars[obj]
+		if !tracked {
+			return
+		}
+		// The atomic operation's own &x argument is not a plain access.
+		if sel, ok := n.(*ast.SelectorExpr); ok && use.addrOf[sel] {
+			return
+		}
+		if id, ok := n.(*ast.Ident); ok && use.addrOf[id] {
+			return
+		}
+		dirs.Report(pass, at.Pos(),
+			"plain access to %s, which is updated atomically (e.g. at %s); use sync/atomic or hold the guarding mutex",
+			objName(obj), use.witness)
+	})
+}
+
+// objName renders a variable for the diagnostic.
+func objName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	return obj.Name()
+}
+
+// itoa avoids strconv for a single call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,57 @@
+// Fixture a: mixing sync/atomic updates with plain loads and stores of
+// the same variable, with and without a guarding mutex.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type C struct {
+	mu   sync.Mutex
+	hits uint64
+	cold int64
+}
+
+var total uint64
+
+func (c *C) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&total, 1)
+}
+
+func (c *C) race() uint64 {
+	return c.hits // want `plain access to field hits, which is updated atomically`
+}
+
+func (c *C) write() {
+	c.hits = 0 // want `plain access to field hits, which is updated atomically`
+}
+
+func raceVar() uint64 {
+	return total // want `plain access to total, which is updated atomically`
+}
+
+// guarded: the plain access happens under a mutex — deliberate mixing,
+// not flagged.
+func (c *C) guarded() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// snapshotLocked follows the Locked-helper convention: the caller holds
+// the lock.
+func (c *C) snapshotLocked() uint64 {
+	return c.hits
+}
+
+// cold is never touched atomically: plain access is fine.
+func (c *C) plainOnly() int64 {
+	return c.cold
+}
+
+func (c *C) suppressed() uint64 {
+	//hfcvet:ignore atomicmix fixture: read during single-threaded construction
+	return c.hits
+}

@@ -37,8 +37,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // DefaultPackages is the comma-separated list of package names the check
-// applies to when the -packages flag is not set.
-const DefaultPackages = "state,routing,hfc,graph,coords,svc,topology,serve,geo,chaos"
+// applies to when the -packages flag is not set. experiments is included
+// since hfcvet v2: the paper tables it emits are the artifacts whose
+// reproducibility everything else protects.
+const DefaultPackages = "state,routing,hfc,graph,coords,svc,topology,serve,geo,chaos,experiments"
 
 var packagesFlag string
 
@@ -87,6 +89,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
+	dirs.ReportUnused(pass)
 	return nil, nil
 }
 

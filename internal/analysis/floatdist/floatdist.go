@@ -49,6 +49,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
+	dirs.ReportUnused(pass)
 	return nil, nil
 }
 

@@ -55,6 +55,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			checkFunc(pass, dirs, guards, fn.Body)
 		}
 	}
+	dirs.ReportUnused(pass)
 	return nil, nil
 }
 

@@ -1,0 +1,279 @@
+// Package hotalloc defines an Analyzer that ratchets allocation counts
+// on the serving hot paths.
+//
+// PR 4's resolution benchmarks live and die by allocations per request
+// (a cache hit must stay allocation-free; a full path computation runs
+// from a pooled scratch). Benchmarks catch regressions after the fact;
+// this analyzer makes the budget part of the function's declaration:
+//
+//	// findPathScratch runs Dijkstra from pooled scratch state.
+//	//
+//	//hfc:hotpath budget=3
+//	func (r *Router) findPathScratch(...) ...
+//
+// Every function whose doc comment carries //hfc:hotpath is scanned for
+// potential allocation sites, and a count above the declared budget
+// (default 0) is reported with the full site list. Counted sites:
+//
+//   - make and new calls
+//   - composite literals (outermost only — nested literals share the
+//     enclosing allocation)
+//   - append calls (may grow the backing array)
+//   - function literals (closure allocation)
+//   - string concatenation with a non-constant result
+//   - string ⇄ byte/rune-slice conversions
+//   - interface boxing: a non-pointer-shaped value passed for an
+//     interface parameter (pointers, maps, chans and funcs fit the
+//     interface word and do not count)
+//
+// This is a syntactic may-allocate count, deliberately cruder than the
+// compiler's escape analysis: sites the compiler proves stack-safe still
+// count, so the budget is a stable upper bound that does not silently
+// shift with inlining decisions. A site that is provably cold or pooled
+// can be excluded with
+//
+//	//hfcvet:ignore hotalloc <why this site does not allocate per call>
+//
+// which removes it from the count.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/ignore"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "enforce //hfc:hotpath allocation budgets on hot-path functions",
+	Run:  run,
+}
+
+const directive = "hfc:hotpath"
+
+var budgetRe = regexp.MustCompile(`^//hfc:hotpath(?:\s+budget=(\d+))?\s*$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := ignore.Parse(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			budget, marked := hotpathBudget(pass, fn)
+			if !marked {
+				continue
+			}
+			checkHot(pass, dirs, fn, budget)
+		}
+	}
+	dirs.ReportUnused(pass)
+	return nil, nil
+}
+
+// hotpathBudget parses the //hfc:hotpath line from a function's doc
+// comment. Malformed forms (extra tokens, bad budget) are reported.
+func hotpathBudget(pass *analysis.Pass, fn *ast.FuncDecl) (int, bool) {
+	if fn.Doc == nil {
+		return 0, false
+	}
+	for _, c := range fn.Doc.List {
+		if !strings.HasPrefix(c.Text, "//"+directive) {
+			continue
+		}
+		m := budgetRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			// Reported on the declaration, where a fix lands anyway.
+			pass.Reportf(fn.Name.Pos(), "malformed hot-path annotation: want //hfc:hotpath budget=<n>")
+			return 0, false
+		}
+		if m[1] == "" {
+			return 0, true
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			pass.Reportf(fn.Name.Pos(), "malformed hot-path budget %q", m[1])
+			return 0, false
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// site is one potential allocation.
+type site struct {
+	what string
+	pos  token.Pos
+}
+
+// checkHot counts allocation sites in one hot function and reports when
+// the count exceeds the budget.
+func checkHot(pass *analysis.Pass, dirs *ignore.Directives, fn *ast.FuncDecl, budget int) {
+	var sites []site
+	add := func(what string, pos token.Pos) {
+		if dirs.Suppressed("hotalloc", pos) {
+			return // justified site: excluded from the count
+		}
+		sites = append(sites, site{what: what, pos: pos})
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			// Count the outermost literal only; nested literals share the
+			// enclosing allocation. Calls inside elements still count.
+			add("composite literal", n.Pos())
+			for _, e := range n.Elts {
+				ast.Inspect(e, func(m ast.Node) bool {
+					if _, nested := m.(*ast.CompositeLit); nested {
+						return true
+					}
+					return visit(m)
+				})
+			}
+			return false
+		case *ast.FuncLit:
+			// The closure itself allocates; its body is part of this
+			// function's per-call cost when invoked inline, so keep
+			// counting inside it too.
+			add("closure", n.Pos())
+		case *ast.CallExpr:
+			classifyCall(pass, n, add)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				add("string concatenation", n.OpPos)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+
+	if len(sites) <= budget {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hot path %s has %d potential allocation sites, budget %d:",
+		fn.Name.Name, len(sites), budget)
+	for _, s := range sites {
+		p := pass.Fset.Position(s.pos)
+		fmt.Fprintf(&b, "\n\t%s at %s:%d", s.what, filepath.Base(p.Filename), p.Line)
+	}
+	dirs.Report(pass, fn.Name.Pos(), "%s", b.String())
+}
+
+// classifyCall records make/new/append, allocating conversions, and
+// interface-boxing arguments.
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr, add func(string, token.Pos)) {
+	// Conversions: T(x). String/byte-slice crossings copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && allocatingConversion(pass, tv.Type, call.Args[0]) {
+			add("string/slice conversion", call.Pos())
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add("make", call.Pos())
+			case "new":
+				add("new", call.Pos())
+			case "append":
+				add("append", call.Pos())
+			}
+			return
+		}
+	}
+	// Interface boxing of non-pointer-shaped arguments.
+	sigTV, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || boxFree(at) {
+			continue
+		}
+		add("interface boxing", arg.Pos())
+	}
+}
+
+// boxFree reports whether a value of type t fits an interface without
+// allocating: interfaces themselves, pointer-shaped types, and untyped
+// nil.
+func boxFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// allocatingConversion reports string ⇄ []byte / []rune crossings.
+func allocatingConversion(pass *analysis.Pass, to types.Type, arg ast.Expr) bool {
+	from := pass.TypesInfo.TypeOf(arg)
+	if from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// isNonConstString reports a string + whose result is not a constant.
+func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -8,6 +8,13 @@
 // The justification is mandatory: a bare `//hfcvet:ignore lockscope` is
 // itself reported, so every suppression in the tree documents why the
 // invariant does not apply at that site.
+//
+// Since hfcvet v2 a suppression must also *work for a living*: when an
+// analyzer finishes a package, ReportUnused flags every directive naming
+// that analyzer which never absorbed a diagnostic. A refactor that removes
+// the offending code therefore removes its suppression in the same commit,
+// instead of leaving fossil justifications that silence future, unrelated
+// findings on the same line.
 package ignore
 
 import (
@@ -19,21 +26,35 @@ import (
 
 const prefix = "hfcvet:ignore"
 
+// directive is one parsed suppression: which analyzer it silences and
+// whether it ever did.
+type directive struct {
+	name string
+	pos  token.Pos
+	used bool
+}
+
 // Directives is the parsed suppression table for one pass: analyzer name
 // by file and line.
 type Directives struct {
 	fset  *token.FileSet
-	lines map[string]map[int]string
+	lines map[string]map[int]*directive
 }
 
 // Parse scans the files of pass for //hfcvet:ignore comments and returns
 // a lookup structure. Malformed directives (no analyzer name, or no
-// justification) are reported immediately on pass.
+// justification) are reported immediately on pass. Directives only take
+// the line-comment form: a //hfcvet:ignore inside a /* */ block is inert
+// (block comments don't sit on "the offending line" in any useful sense)
+// and parsing ignores it.
 func Parse(pass *analysis.Pass) *Directives {
-	d := &Directives{fset: pass.Fset, lines: map[string]map[int]string{}}
+	d := &Directives{fset: pass.Fset, lines: map[string]map[int]*directive{}}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue // block comment
+				}
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				if !strings.HasPrefix(text, prefix) {
 					continue
@@ -46,23 +67,34 @@ func Parse(pass *analysis.Pass) *Directives {
 				}
 				p := pass.Fset.Position(c.Pos())
 				if d.lines[p.Filename] == nil {
-					d.lines[p.Filename] = map[int]string{}
+					d.lines[p.Filename] = map[int]*directive{}
 				}
-				d.lines[p.Filename][p.Line] = name
+				d.lines[p.Filename][p.Line] = &directive{name: name, pos: c.Pos()}
 			}
 		}
 	}
 	return d
 }
 
-// Suppressed reports whether a diagnostic from analyzer name at pos is
-// covered by a directive on the same line or the line above.
-func (d *Directives) Suppressed(name string, pos token.Pos) bool {
+// lookup finds the directive covering a diagnostic from analyzer name at
+// pos: same line or the line above.
+func (d *Directives) lookup(name string, pos token.Pos) *directive {
 	p := d.fset.Position(pos)
 	for _, l := range []int{p.Line, p.Line - 1} {
-		if d.lines[p.Filename][l] == name {
-			return true
+		if dir := d.lines[p.Filename][l]; dir != nil && dir.name == name {
+			return dir
 		}
+	}
+	return nil
+}
+
+// Suppressed reports whether a diagnostic from analyzer name at pos is
+// covered by a directive on the same line or the line above, marking the
+// directive as earning its keep.
+func (d *Directives) Suppressed(name string, pos token.Pos) bool {
+	if dir := d.lookup(name, pos); dir != nil {
+		dir.used = true
+		return true
 	}
 	return false
 }
@@ -74,4 +106,18 @@ func (d *Directives) Report(pass *analysis.Pass, pos token.Pos, format string, a
 		return
 	}
 	pass.Reportf(pos, format, args...)
+}
+
+// ReportUnused flags every directive naming pass's analyzer that suppressed
+// nothing during the pass — a stale justification left behind by a refactor.
+// Call it at the end of the analyzer's run, after every Report.
+func (d *Directives) ReportUnused(pass *analysis.Pass) {
+	name := pass.Analyzer.Name
+	for _, byLine := range d.lines {
+		for _, dir := range byLine {
+			if dir.name == name && !dir.used {
+				pass.Reportf(dir.pos, "stale suppression: //hfcvet:ignore %s no longer matches any diagnostic; delete it", name)
+			}
+		}
+	}
 }

@@ -1,0 +1,195 @@
+package ignore_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/ignore"
+)
+
+// newPass parses src and returns a minimal pass for the directive layer
+// (no type information needed) plus the diagnostic sink.
+func newPass(t *testing.T, src string) (*analysis.Pass, *[]string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var diags []string
+	return &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: "testcheck"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report: func(d analysis.Diagnostic) {
+			diags = append(diags, d.Message)
+		},
+	}, &diags
+}
+
+// lineOf returns the position of the first occurrence of needle in src,
+// as a token.Pos into the parsed file.
+func posOf(t *testing.T, pass *analysis.Pass, src, needle string) token.Pos {
+	t.Helper()
+	off := strings.Index(src, needle)
+	if off < 0 {
+		t.Fatalf("needle %q not in src", needle)
+	}
+	return pass.Fset.File(pass.Files[0].Pos()).Pos(off)
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// diagAt is a source substring whose line receives a testcheck
+		// diagnostic; empty means no diagnostic is attempted.
+		diagAt         string
+		wantSuppressed bool
+		// wantParseDiags are substrings expected among the diagnostics
+		// reported by Parse itself (malformed directives).
+		wantParseDiags []string
+	}{
+		{
+			name: "same line",
+			src: "package p\n" +
+				"var x = 1 //hfcvet:ignore testcheck the literal is intentional\n",
+			diagAt:         "var x",
+			wantSuppressed: true,
+		},
+		{
+			name: "line above",
+			src: "package p\n" +
+				"//hfcvet:ignore testcheck the next line is intentional\n" +
+				"var x = 1\n",
+			diagAt:         "var x",
+			wantSuppressed: true,
+		},
+		{
+			name: "two lines above does not cover",
+			src: "package p\n" +
+				"//hfcvet:ignore testcheck too far away\n" +
+				"var y = 2\n" +
+				"var x = 1\n",
+			diagAt:         "var x",
+			wantSuppressed: false,
+		},
+		{
+			name: "wrong analyzer name",
+			src: "package p\n" +
+				"var x = 1 //hfcvet:ignore othercheck reason applies to another pass\n",
+			diagAt:         "var x",
+			wantSuppressed: false,
+		},
+		{
+			name: "missing justification is malformed",
+			src: "package p\n" +
+				"var x = 1 //hfcvet:ignore testcheck\n",
+			diagAt:         "var x",
+			wantSuppressed: false,
+			wantParseDiags: []string{"malformed suppression"},
+		},
+		{
+			name: "bare directive is malformed",
+			src: "package p\n" +
+				"var x = 1 //hfcvet:ignore\n",
+			diagAt:         "var x",
+			wantSuppressed: false,
+			wantParseDiags: []string{"malformed suppression"},
+		},
+		{
+			name: "block comment is inert, not malformed",
+			src: "package p\n" +
+				"/*hfcvet:ignore testcheck block comments do not pin a line*/\n" +
+				"var x = 1\n",
+			diagAt:         "var x",
+			wantSuppressed: false,
+		},
+		{
+			name: "directive inside multiline doc group",
+			src: "package p\n" +
+				"// x is documented at length,\n" +
+				"// over several lines.\n" +
+				"//hfcvet:ignore testcheck only the directive line matters\n" +
+				"var x = 1\n",
+			diagAt:         "var x",
+			wantSuppressed: true,
+		},
+		{
+			name: "trailing comment after code plus second statement",
+			src: "package p\n" +
+				"var x = 1 //hfcvet:ignore testcheck covers x only\n" +
+				"var y = 2\n",
+			diagAt:         "var y",
+			wantSuppressed: true, // the directive's line is the line above y
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pass, diags := newPass(t, tc.src)
+			dirs := ignore.Parse(pass)
+			for _, want := range tc.wantParseDiags {
+				found := false
+				for _, d := range *diags {
+					if strings.Contains(d, want) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("Parse diagnostics %q lack %q", *diags, want)
+				}
+			}
+			if len(tc.wantParseDiags) == 0 && len(*diags) != 0 {
+				t.Errorf("Parse reported unexpectedly: %q", *diags)
+			}
+			if tc.diagAt == "" {
+				return
+			}
+			pos := posOf(t, pass, tc.src, tc.diagAt)
+			if got := dirs.Suppressed("testcheck", pos); got != tc.wantSuppressed {
+				t.Errorf("Suppressed(testcheck, %q) = %v, want %v", tc.diagAt, got, tc.wantSuppressed)
+			}
+		})
+	}
+}
+
+func TestReportUnused(t *testing.T) {
+	src := "package p\n" +
+		"var x = 1 //hfcvet:ignore testcheck absorbs the diagnostic below\n" +
+		"var y = 2 //hfcvet:ignore testcheck never matches anything\n"
+	pass, diags := newPass(t, src)
+	dirs := ignore.Parse(pass)
+
+	// The first directive earns its keep; the second never fires.
+	if !dirs.Suppressed("testcheck", posOf(t, pass, src, "var x")) {
+		t.Fatal("first directive should suppress")
+	}
+	dirs.ReportUnused(pass)
+	if len(*diags) != 1 || !strings.Contains((*diags)[0], "stale suppression") {
+		t.Fatalf("want exactly one stale-suppression report, got %q", *diags)
+	}
+}
+
+func TestReportRespectsDirectives(t *testing.T) {
+	src := "package p\n" +
+		"var x = 1 //hfcvet:ignore testcheck intentional\n" +
+		"var y = 2\n"
+	pass, diags := newPass(t, src)
+	dirs := ignore.Parse(pass)
+	dirs.Report(pass, posOf(t, pass, src, "var x"), "on x")
+	dirs.Report(pass, posOf(t, pass, src, "var y"), "on y")
+	// "on y"? The directive's reach is its own line plus the next, and
+	// var y sits on the line after the directive — so both are absorbed.
+	if len(*diags) != 0 {
+		t.Fatalf("want both reports suppressed (line + line-above reach), got %q", *diags)
+	}
+	dirs.ReportUnused(pass)
+	if len(*diags) != 0 {
+		t.Fatalf("directive was used; want no stale report, got %q", *diags)
+	}
+}

@@ -1,0 +1,29 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hfc/internal/analysis/analysistest"
+	"hfc/internal/analysis/lockorder"
+)
+
+func TestCycles(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "a", "b", "c", "d")
+}
+
+func TestManifest(t *testing.T) {
+	set := func(name, value string) {
+		t.Helper()
+		if err := lockorder.Analyzer.Flags.Set(name, value); err != nil {
+			t.Fatalf("set -%s: %v", name, err)
+		}
+	}
+	set("manifest", filepath.Join(analysistest.TestData(), "manifest.txt"))
+	set("packages", "m")
+	t.Cleanup(func() {
+		set("manifest", "")
+		set("packages", "overlay,serve,routing,chaos")
+	})
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "m")
+}

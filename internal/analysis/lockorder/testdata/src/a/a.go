@@ -1,0 +1,25 @@
+// Fixture a: two functions acquire the same pair of locks in opposite
+// orders — the canonical AB/BA deadlock. Both cycle-closing acquisitions
+// are reported with the witnessing chain.
+package a
+
+import "sync"
+
+type S struct {
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+}
+
+func (s *S) ab() {
+	s.mu1.Lock()
+	defer s.mu1.Unlock()
+	s.mu2.Lock() // want `lock-order cycle: a\.S\.mu1 → a\.S\.mu2 → a\.S\.mu1`
+	s.mu2.Unlock()
+}
+
+func (s *S) ba() {
+	s.mu2.Lock()
+	defer s.mu2.Unlock()
+	s.mu1.Lock() // want `lock-order cycle: a\.S\.mu2 → a\.S\.mu1 → a\.S\.mu2`
+	s.mu1.Unlock()
+}

@@ -1,0 +1,28 @@
+// Fixture b: a consistent outer → inner discipline, both directly and
+// through a helper call. No cycle, no diagnostics.
+package b
+
+import "sync"
+
+type T struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (t *T) lockInner() {
+	t.inner.Lock()
+	t.inner.Unlock()
+}
+
+func (t *T) viaCall() {
+	t.outer.Lock()
+	defer t.outer.Unlock()
+	t.lockInner()
+}
+
+func (t *T) direct() {
+	t.outer.Lock()
+	t.inner.Lock()
+	t.inner.Unlock()
+	t.outer.Unlock()
+}

@@ -1,0 +1,24 @@
+// Fixture c: a cycle where one side carries an //hfcvet:ignore — only
+// the unsuppressed side reports.
+package c
+
+import "sync"
+
+type C struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (c *C) one() {
+	c.a.Lock()
+	defer c.a.Unlock()
+	c.b.Lock() // want `lock-order cycle: c\.C\.a → c\.C\.b → c\.C\.a`
+	c.b.Unlock()
+}
+
+func (c *C) two() {
+	c.b.Lock()
+	defer c.b.Unlock()
+	c.a.Lock() //hfcvet:ignore lockorder fixture: the one() side carries the diagnostic
+	c.a.Unlock()
+}

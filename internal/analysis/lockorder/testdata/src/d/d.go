@@ -1,0 +1,29 @@
+// Fixture d: the cycle closes through a *call* — xThenY never touches y
+// directly, but the helper it calls under x does. Both the call site and
+// the reversed direct acquisition report.
+package d
+
+import "sync"
+
+type D struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (d *D) lockY() {
+	d.y.Lock()
+	d.y.Unlock()
+}
+
+func (d *D) xThenY() {
+	d.x.Lock()
+	defer d.x.Unlock()
+	d.lockY() // want `lock-order cycle: d\.D\.x → d\.D\.y → d\.D\.x`
+}
+
+func (d *D) yThenX() {
+	d.y.Lock()
+	defer d.y.Unlock()
+	d.x.Lock() // want `lock-order cycle: d\.D\.y → d\.D\.x → d\.D\.y`
+	d.x.Unlock()
+}

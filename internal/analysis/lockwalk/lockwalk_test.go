@@ -1,0 +1,117 @@
+package lockwalk_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strconv"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/lockwalk"
+)
+
+// heldAtProbes walks every function in src and returns, for each
+// probe(N) call, the sorted held-lock keys at that point.
+func heldAtProbes(t *testing.T, src string) map[int][]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	out := map[int][]string{}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		lockwalk.Walk(pass, fn.Body, func(n ast.Node, held lockwalk.Held) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "probe" || len(call.Args) != 1 {
+				return
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return
+			}
+			n2, err := strconv.Atoi(lit.Value)
+			if err != nil {
+				t.Fatalf("probe arg: %v", err)
+			}
+			keys := make([]string, 0, len(held))
+			for k := range held {
+				keys = append(keys, k)
+			}
+			out[n2] = keys
+		})
+	}
+	return out
+}
+
+// TestDeferredUnlockInLoop pins the held-set semantics of `defer
+// mu.Unlock()` issued inside a loop body: the lock stays held for the
+// rest of the iteration (the defer does not release it in-place), and
+// loop-local acquisitions do not leak past the loop.
+func TestDeferredUnlockInLoop(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+func probe(int) {}
+
+func f(mu *sync.Mutex, xs []int) {
+	probe(0)
+	for range xs {
+		mu.Lock()
+		probe(1)
+		defer mu.Unlock()
+		probe(2)
+	}
+	probe(3)
+}
+
+func g(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	probe(4)
+}
+`
+	held := heldAtProbes(t, src)
+	wantHeld := map[int]bool{0: false, 1: true, 2: true, 3: false, 4: true}
+	for probe, want := range wantHeld {
+		got := len(held[probe]) > 0
+		if got != want {
+			t.Errorf("probe(%d): held=%v (%v), want held=%v", probe, got, held[probe], want)
+		}
+	}
+	for _, p := range []int{1, 2, 4} {
+		if len(held[p]) != 1 || held[p][0] != "mu" {
+			t.Errorf("probe(%d): held keys = %v, want [mu]", p, held[p])
+		}
+	}
+}

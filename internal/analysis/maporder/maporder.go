@@ -1,0 +1,410 @@
+// Package maporder defines an Analyzer that flags `range` over maps in
+// the deterministic core packages when the iteration order can leak into
+// an observable result.
+//
+// Go randomizes map iteration order per run. The detrand analyzer keeps
+// ambient randomness (global rand, wall clocks) out of the simulation
+// core, but a map range is a randomness source the v1 pass could not
+// see: the experiment tables are only reproducible if no map-ordered
+// value reaches a result. Within the configured packages this analyzer
+// reports a map range whose body lets the order escape through:
+//
+//   - a channel send (flood payloads, worker feeds);
+//   - a return whose value derives from the iteration variables — which
+//     iteration returns first depends on the order;
+//   - a plain assignment to a variable declared outside the loop whose
+//     right-hand side derives from the iteration (last writer wins);
+//   - a non-commutative compound accumulation: floating-point or complex
+//     `+=`-style updates (rounding differs with order) and string
+//     concatenation;
+//   - an append to an outer slice — unless some path after the loop
+//     sorts that slice before it can be used (the collect-then-sort
+//     idiom), which the control-flow graph check recognizes.
+//
+// Commutative updates stay allowed: keyed writes (m2[k] = v), integer
+// counters and sums, boolean flags set to constants, delete(m, k).
+//
+// Suppress an intentional site with
+//
+//	//hfcvet:ignore maporder <why the order cannot be observed>
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"hfc/internal/analysis/detrand"
+	"hfc/internal/analysis/flowgraph"
+	"hfc/internal/analysis/ignore"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map ranges in deterministic packages whose iteration order can reach an observable result",
+	Run:  run,
+}
+
+var packagesFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages", detrand.DefaultPackages,
+		"comma-separated package names that must stay deterministic")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !deterministic(pass.Pkg.Name()) {
+		return nil, nil
+	}
+	dirs := ignore.Parse(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, dirs, fn.Body)
+				}
+				return false // nested literals are found inside checkBody
+			case *ast.FuncLit:
+				// Top-level var initializers only; function-local literals
+				// are reached through their enclosing declaration.
+				checkBody(pass, dirs, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	dirs.ReportUnused(pass)
+	return nil, nil
+}
+
+func deterministic(name string) bool {
+	name = strings.TrimSuffix(name, "_test")
+	for _, p := range strings.Split(packagesFlag, ",") {
+		if strings.TrimSpace(p) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody scans one function body (and, recursively, literals declared
+// in it — they share the body's control-flow graph scope only when
+// invoked inline, so each gets its own graph).
+func checkBody(pass *analysis.Pass, dirs *ignore.Directives, body *ast.BlockStmt) {
+	var g *flowgraph.Graph // built lazily; only append sinks query it
+	graph := func() *flowgraph.Graph {
+		if g == nil {
+			g = flowgraph.New(body)
+		}
+		return g
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, dirs, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkRange(pass, dirs, body, graph, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkRange reports every order-sensitive sink in one map range body.
+func checkRange(pass *analysis.Pass, dirs *ignore.Directives, fnBody *ast.BlockStmt, graph func() *flowgraph.Graph, rs *ast.RangeStmt) {
+	taint := taintSet(pass, rs)
+	tainted := func(e ast.Expr) bool { return refsTaint(pass, taint, rs, e) }
+	reductions := maxMinUpdates(rs.Body)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A literal defined per iteration runs later (or concurrently);
+			// its own map ranges are checked separately, and flows through
+			// it are beyond the may-analysis here.
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			dirs.Report(pass, n.Arrow,
+				"map iteration order reaches a channel send; iterate over sorted keys")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if tainted(res) {
+					dirs.Report(pass, n.Return,
+						"map iteration order can determine the return value; iterate over sorted keys")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			if reductions[n] {
+				return true // commutative max/min fold: order-independent
+			}
+			checkAssign(pass, dirs, fnBody, graph, rs, n, tainted)
+		}
+		return true
+	})
+}
+
+// maxMinUpdates finds the commutative fold idiom
+//
+//	if v > best { best = v }
+//
+// and marks the inner assignment as order-independent: whatever order the
+// map yields, the final best is the extremum. Only the assignment whose
+// operands are exactly the compared pair qualifies — an argmax companion
+// (bestKey = k on the same branch) stays flagged, because ties make the
+// winning key order-dependent.
+func maxMinUpdates(body *ast.BlockStmt) map[*ast.AssignStmt]bool {
+	out := map[*ast.AssignStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cond.Op {
+		case token.GTR, token.LSS, token.GEQ, token.LEQ:
+		default:
+			return true
+		}
+		condX, condY := types.ExprString(cond.X), types.ExprString(cond.Y)
+		for _, s := range ifs.Body.List {
+			as, ok := s.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lhs, rhs := types.ExprString(as.Lhs[0]), types.ExprString(as.Rhs[0])
+			if (lhs == condY && rhs == condX) || (lhs == condX && rhs == condY) {
+				out[as] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAssign classifies one assignment inside a map range body.
+func checkAssign(pass *analysis.Pass, dirs *ignore.Directives, fnBody *ast.BlockStmt, graph func() *flowgraph.Graph, rs *ast.RangeStmt, as *ast.AssignStmt, tainted func(ast.Expr) bool) {
+	if as.Tok == token.DEFINE {
+		return // new variable scoped to the iteration
+	}
+	for i, lhs := range as.Lhs {
+		root := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+			continue // keyed write: m2[k] = v is commutative across iterations
+		}
+		obj := pass.TypesInfo.ObjectOf(root)
+		if obj == nil || insideLoop(rs, obj.Pos()) {
+			continue // iteration-local state
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		} else if i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		}
+		if rhs == nil || !tainted(rhs) {
+			continue // constant or outer-only value: same on every order
+		}
+
+		if as.Tok == token.ASSIGN {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppend(pass, call) {
+				if sortedAfter(pass, fnBody, graph, rs, obj) {
+					continue // collect-then-sort idiom
+				}
+				dirs.Report(pass, as.TokPos,
+					"append to %s in map iteration order; sort %s after the loop or iterate over sorted keys",
+					root.Name, root.Name)
+				continue
+			}
+			dirs.Report(pass, as.TokPos,
+				"map iteration order can determine the value assigned to %s (last writer wins); iterate over sorted keys",
+				root.Name)
+			continue
+		}
+
+		// Compound assignment: only non-commutative accumulations matter.
+		if b, ok := obj.Type().Underlying().(*types.Basic); ok {
+			switch {
+			case b.Info()&(types.IsFloat|types.IsComplex) != 0:
+				dirs.Report(pass, as.TokPos,
+					"floating-point accumulation into %s in map iteration order is not associative; iterate over sorted keys",
+					root.Name)
+			case b.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN:
+				dirs.Report(pass, as.TokPos,
+					"string concatenation into %s follows map iteration order; iterate over sorted keys",
+					root.Name)
+			}
+		}
+	}
+}
+
+// taintSet seeds the order-tainted objects: the range's key and value
+// variables (in both := and = forms).
+func taintSet(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	taint := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				taint[obj] = true
+			}
+		}
+	}
+	return taint
+}
+
+// refsTaint reports whether e references a tainted object: a range
+// variable, or any variable declared inside the loop body (which holds
+// per-iteration derived state).
+func refsTaint(pass *analysis.Pass, taint map[types.Object]bool, rs *ast.RangeStmt, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if taint[obj] {
+			found = true
+			return false
+		}
+		if _, isVar := obj.(*types.Var); isVar && insideLoop(rs, obj.Pos()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// insideLoop reports whether a declaration position falls in the range
+// statement (body or its key/value defines).
+func insideLoop(rs *ast.RangeStmt, pos token.Pos) bool {
+	return rs.Pos() <= pos && pos <= rs.End()
+}
+
+// rootIdent unwraps selectors, stars and parens to the base identifier of
+// an assignable expression; nil for index expressions' roots (handled
+// separately) and anything else.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isAppend recognizes the append builtin.
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether some path after the loop sorts the slice
+// held by obj: a sort.* / slices.Sort* call whose first argument roots at
+// obj (sort.Sort(byName(xs)) counts — the conversion still roots at xs),
+// reachable from the loop's exit in the control-flow graph.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, graph func() *flowgraph.Graph, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		root := rootIdentExpr(call.Args[0])
+		if root == nil || pass.TypesInfo.ObjectOf(root) != obj {
+			return true
+		}
+		if graph().ReachesAfter(rs, call) {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+// rootIdentExpr digs to the base identifier through calls and conversions
+// too (sort.Sort(byName(xs))).
+func rootIdentExpr(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) != 1 {
+				return nil
+			}
+			e = x.Args[0]
+		default:
+			return nil
+		}
+	}
+}
+
+// isSortCall recognizes sort.* and slices.Sort* calls.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkg.Imported().Path() {
+	case "sort":
+		return true // every exported sort entry point sorts its argument
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"hfc/internal/analysis/analysistest"
+	"hfc/internal/analysis/detrand"
+	"hfc/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	if err := maporder.Analyzer.Flags.Set("packages", "a"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := maporder.Analyzer.Flags.Set("packages", detrand.DefaultPackages); err != nil {
+			t.Errorf("restore -packages: %v", err)
+		}
+	})
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "a")
+}

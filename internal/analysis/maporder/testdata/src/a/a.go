@@ -1,0 +1,115 @@
+// Fixture a: order-sensitive sinks inside map ranges (positives) next to
+// the commutative shapes that stay allowed (negatives).
+package a
+
+import "sort"
+
+func sends(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `map iteration order reaches a channel send`
+	}
+}
+
+func firstMatch(m map[string]int) string {
+	for k, v := range m {
+		if v > 0 {
+			return k // want `map iteration order can determine the return value`
+		}
+	}
+	return ""
+}
+
+func lastWriter(m map[string]int) string {
+	var best string
+	for k := range m {
+		best = k // want `map iteration order can determine the value assigned to best`
+	}
+	return best
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum in map iteration order is not associative`
+	}
+	return sum
+}
+
+func concat(m map[string]int) string {
+	var out string
+	for k := range m {
+		out += k // want `string concatenation into out follows map iteration order`
+	}
+	return out
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map iteration order`
+	}
+	return keys
+}
+
+// sortedAppend is the sanctioned collect-then-sort idiom: the append is
+// forgiven because the sort is reachable after the loop.
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commutative shapes: integer sums, counters, keyed writes, constant
+// flag sets — all order-independent.
+func counters(m map[string]int, target string) (int, int, bool) {
+	n := 0
+	total := 0
+	seen := map[string]bool{}
+	found := false
+	for k, v := range m {
+		n++
+		total += v
+		seen[k] = true
+		if k == target {
+			found = true
+		}
+	}
+	return n, total, found
+}
+
+// derived per-iteration state taints too: name is declared inside the
+// loop, so assigning it outward is still order-dependent.
+func derivedTaint(m map[string]int) string {
+	var last string
+	for k, v := range m {
+		name := k
+		if v > 1 {
+			last = name // want `map iteration order can determine the value assigned to last`
+		}
+	}
+	return last
+}
+
+// maxFold is the commutative extremum idiom: allowed. The argmax
+// companion assignment is still order-dependent (ties), so it reports.
+func maxFold(m map[string]int) (int, string) {
+	best := -1
+	var bestKey string
+	for k, v := range m {
+		if v > best {
+			best = v
+			bestKey = k // want `map iteration order can determine the value assigned to bestKey`
+		}
+	}
+	return best, bestKey
+}
+
+func suppressed(m map[string]int, ch chan string) {
+	for k := range m {
+		//hfcvet:ignore maporder fixture: the receiver sorts before use
+		ch <- k
+	}
+}

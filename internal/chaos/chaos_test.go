@@ -53,12 +53,12 @@ func fixture(t *testing.T, seed int64) (*hfc.Topology, []svc.CapabilitySet) {
 // engine wired in as the link policy.
 func drillConfig(eng *Engine) overlay.Config {
 	return overlay.Config{
-		RouteTimeout: 50 * time.Millisecond,
-		RPCTimeout:   15 * time.Millisecond,
-		RPCRetries:   1,
-		RPCBackoff:   time.Millisecond,
-		LinkPolicy:   eng.Policy,
-		Health:       overlay.HealthConfig{Enabled: true, MaxScore: 4},
+		RouteTimeout:   50 * time.Millisecond,
+		RPCTimeout:     15 * time.Millisecond,
+		RPCRetries:     1,
+		RPCBackoff:     time.Millisecond,
+		LinkPolicy:     eng.Policy,
+		Health:         overlay.HealthConfig{Enabled: true, MaxScore: 4},
 		DegradedRoutes: true,
 		CacheRoutes:    true,
 	}

@@ -157,7 +157,7 @@ type Engine struct {
 	scale time.Duration
 
 	mu     sync.Mutex
-	active []*activeFault        // guarded by mu
+	active []*activeFault            // guarded by mu
 	links  map[linkKey]*linkCounters // guarded by mu
 }
 

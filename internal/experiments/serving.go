@@ -68,6 +68,7 @@ func RunServe(spec env.Spec, requests int, workerCounts []int) ([]ServeRow, erro
 			return nil, fmt.Errorf("experiments: serve: %w", err)
 		}
 		eng := fresh.Framework.Engine()
+		//hfcvet:ignore detrand wall-clock throughput timing; route results stay seed-deterministic
 		start := time.Now()
 		_, errs := eng.ResolveAll(stream, w)
 		elapsed := time.Since(start)

@@ -3,6 +3,7 @@ package hfc
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"hfc/internal/coords"
@@ -68,6 +69,7 @@ func TestDynamicIndexedMatchesDirectElections(t *testing.T) {
 			for v := range gone {
 				nodes = append(nodes, v)
 			}
+			sort.Ints(nodes) // map order must not leak into the seeded draw
 			v := nodes[rng.Intn(len(nodes))]
 			if err := d.Rejoin(v); err != nil {
 				t.Fatalf("step %d: Rejoin(%d): %v", step, v, err)

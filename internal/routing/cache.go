@@ -149,6 +149,8 @@ func (c *RouteCache) NumShards() int { return len(c.shards) }
 // Get returns the cached value for key, if one exists whose canonical form
 // matches and whose cluster stamps are all still current. Stale entries are
 // evicted and counted as invalidations; every non-hit is a miss.
+//
+//hfc:hotpath budget=0
 func (c *RouteCache) Get(key CacheKey, canonical string) (any, bool) {
 	sh := &c.shards[key.shard(len(c.shards))]
 	sh.mu.Lock()

@@ -106,6 +106,8 @@ var scratchPool = sync.Pool{New: func() any { return new(pathScratch) }}
 // The search runs on a pooled scratch arena, so concurrent and repeated
 // calls do per-request work without per-request table allocations; results
 // are identical to a fresh-allocation run (asserted by FuzzFindPathScratch).
+//
+//hfc:hotpath budget=0
 func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expander, admissible EdgeFilter) (*Path, error) {
 	sc := scratchPool.Get().(*pathScratch)
 	defer scratchPool.Put(sc)
@@ -115,6 +117,8 @@ func FindPathFiltered(req svc.Request, providers ProviderFunc, oracle Oracle, ex
 // findPathScratch is the FindPathFiltered implementation against an
 // explicit scratch arena (tests pass fresh arenas to compare against pooled
 // runs).
+//
+//hfc:hotpath budget=18
 func findPathScratch(req svc.Request, providers ProviderFunc, oracle Oracle, exp Expander, admissible EdgeFilter, sc *pathScratch) (*Path, error) {
 	if providers == nil {
 		return nil, errors.New("routing: nil provider function")

@@ -200,6 +200,8 @@ func (e *Engine) view(dest int) (*hfc.NodeView, error) {
 }
 
 // Resolve answers one service request, returning the composed path.
+//
+//hfc:hotpath budget=0
 func (e *Engine) Resolve(req svc.Request) (*routing.Path, error) {
 	res, err := e.ResolveDetailed(req)
 	if err != nil {
@@ -212,6 +214,8 @@ func (e *Engine) Resolve(req svc.Request) (*routing.Path, error) {
 // Identical concurrent requests share one computation; repeated requests
 // are answered from the route cache until an update invalidates a cluster
 // their path depends on. The returned result is shared and read-only.
+//
+//hfc:hotpath budget=3
 func (e *Engine) ResolveDetailed(req svc.Request) (*routing.Result, error) {
 	if err := req.Validate(e.topo.N()); err != nil {
 		return nil, err

@@ -11,6 +11,8 @@ import (
 // pair. Unlike String (a display format that drops isolated vertices when
 // edges exist), two graphs share a Canonical form iff they have identical
 // vertex and edge lists, which is what cache keys need.
+//
+//hfc:hotpath budget=8
 func (g *Graph) Canonical() string {
 	buf := make([]byte, 0, 16*len(g.Services)+8*len(g.Edges)+1)
 	for _, s := range g.Services {
