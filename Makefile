@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-full bench-compare bench-scale chaos fmt
+.PHONY: all build test race lint vet bench bench-full bench-compare bench-scale chaos sim fmt
 
 # Output snapshot for the regression-gate benchmarks (see cmd/benchgate).
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr8.json
 
 all: build test lint
 
@@ -63,6 +63,14 @@ chaos:
 	$(GO) test -race -run 'TestPartitionHealDrill|TestScheduledChaosAlwaysReconverges|TestRunnerTraceDeterminism' -count 2 ./internal/chaos/
 	$(GO) test -race -run 'TestGrayNodeQuarantineAndRelease|TestDegradedRouteFallback' ./internal/overlay/
 	$(GO) test -race -run 'TestEngineDegraded|TestEngineExcludesUnavailableProvider' ./internal/serve/
+
+# sim runs the virtual-time determinism suite plus the 32k convergence
+# drill under the race detector — CI's sim job. The 100k acceptance drill
+# is opt-in: HFC_SIM_SCALE=1 go test -run TestSimConverge100k ./internal/experiments/
+sim:
+	$(GO) test -race -run 'TestSimulateDeterministic|TestNetsimLatencyUnderVirtualTime' -count 2 ./internal/overlay/
+	$(GO) test -race -run 'TestRunnerDeterministicUnderVirtualTime' -count 2 ./internal/chaos/
+	$(GO) test -race -run 'TestSimScaleConvergence' -timeout 30m ./internal/experiments/
 
 fmt:
 	gofmt -l -w $$(git ls-files '*.go' | grep -v '^vendor/')

@@ -907,3 +907,22 @@ func BenchmarkEnvBuild2048Serial(b *testing.B) { benchEnvBuild2048(b, 0) }
 
 // BenchmarkEnvBuild2048Parallel is the all-cores counterpart.
 func BenchmarkEnvBuild2048Parallel(b *testing.B) { benchEnvBuild2048(b, -1) }
+
+// BenchmarkGateSimConverge100k is the virtual-time scale gate: one full
+// 100k-proxy tri-level overlay — hierarchical construction plus the §4
+// state distribution driven to ground-truth convergence — per iteration,
+// entirely on the simulated clock on one scheduler. It pins the headline
+// simulation-harness claim (100k converges in well under a minute) as a
+// regression number; by far the heaviest gate, so benchgate's fixed
+// benchtime matters more than usual here.
+func BenchmarkGateSimConverge100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := overlay.Simulate(overlay.SimSpec{N: 100_000, Multilevel: true}, 1)
+		if err != nil {
+			b.Fatalf("Simulate: %v", err)
+		}
+		if !rep.Converged {
+			b.Fatal("100k simulation did not converge")
+		}
+	}
+}

@@ -9,10 +9,12 @@
 //	experiments -run ablation-k,ablation-relax
 //
 // Runs: table1, fig9a, fig9b, fig10, messages, qos, multilevel,
-// convergence, faults, chaos, serve, scale, ablation-k, ablation-dim,
-// ablation-relax, ablation-border, ablation-landmarks, ablation-churn.
-// `scale` sweeps overlay construction over the spatial-index engine at
-// n=1k/8k (plus 32k and 100k with -full).
+// convergence, faults, chaos, serve, scale, simscale, ablation-k,
+// ablation-dim, ablation-relax, ablation-border, ablation-landmarks,
+// ablation-churn. `scale` sweeps overlay construction over the
+// spatial-index engine at n=1k/8k (plus 32k and 100k with -full);
+// `simscale` runs the virtual-time protocol simulation — churn, crashes,
+// partition, probes — at the same sizes, tri-level above 50k.
 //
 // -cpuprofile/-memprofile write runtime/pprof profiles, flushed on clean
 // shutdown.
@@ -39,7 +41,7 @@ func main() {
 }
 
 func run() error {
-	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, chaos, serve, scale, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
+	runs := flag.String("run", "all", "comma-separated experiments to run (all, table1, fig9a, fig9b, fig10, messages, qos, multilevel, convergence, faults, chaos, serve, scale, simscale, ablation-k, ablation-dim, ablation-relax, ablation-border, ablation-landmarks, ablation-churn)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	full := flag.Bool("full", false, "paper-scale sample sizes (5 trials, 1000 requests; takes minutes)")
 	trials := flag.Int("trials", 0, "override trial count")
@@ -351,6 +353,22 @@ func run() error {
 				return err
 			}
 			fmt.Print(experiments.FormatScale(rows))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if section("simscale") {
+		if err := timed("simscale", func() error {
+			sizes := []int{1000, 8000}
+			if *full {
+				sizes = []int{1000, 8000, 32000, 100000}
+			}
+			rows, err := experiments.RunSimScale(*seed, sizes, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSimScale(rows))
 			return nil
 		}); err != nil {
 			return err

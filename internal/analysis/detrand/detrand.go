@@ -12,7 +12,13 @@
 //     use the global source — rand.Intn, rand.Shuffle, rand.Float64, ...
 //     Constructors (rand.New, rand.NewSource, rand.NewZipf, ...) are the
 //     sanctioned way to build an injectable source and stay allowed;
-//   - bare time.Now() calls.
+//   - bare time.Now() calls;
+//   - wall-clock scheduling — time.Sleep, time.After, time.AfterFunc,
+//     time.NewTimer, time.NewTicker, time.Tick. Since the virtual-time
+//     runtime (internal/vtime) these must go through the injected Clock
+//     so the same code runs identically on the real clock and in
+//     simulation; vtime itself is the sanctioned boundary and is not in
+//     the checked set.
 //
 // Suppress an intentional site with
 //
@@ -39,8 +45,11 @@ var Analyzer = &analysis.Analyzer{
 // DefaultPackages is the comma-separated list of package names the check
 // applies to when the -packages flag is not set. experiments is included
 // since hfcvet v2: the paper tables it emits are the artifacts whose
-// reproducibility everything else protects.
-const DefaultPackages = "state,routing,hfc,graph,coords,svc,topology,serve,geo,chaos,experiments"
+// reproducibility everything else protects. overlay and netsim joined
+// with the virtual-time runtime: both must schedule exclusively through
+// the injected Clock so simulation runs stay byte-identical per seed
+// (vtime itself implements the clock and stays out of the set).
+const DefaultPackages = "state,routing,hfc,graph,coords,svc,topology,serve,geo,chaos,experiments,overlay,netsim"
 
 var packagesFlag string
 
@@ -81,9 +90,14 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					"%s.%s draws from the global math/rand source; inject a seeded *rand.Rand instead",
 					pkg.Name(), sel.Sel.Name)
 			case "time":
-				if sel.Sel.Name == "Now" {
+				switch sel.Sel.Name {
+				case "Now":
 					dirs.Report(pass, call.Pos(),
 						"time.Now in a deterministic package; inject a clock so experiment seeds stay meaningful")
+				case "Sleep", "After", "AfterFunc", "NewTimer", "NewTicker", "Tick":
+					dirs.Report(pass, call.Pos(),
+						"time.%s schedules on the wall clock in a deterministic package; use the injected Clock (vtime.Real or a Sim) instead",
+						sel.Sel.Name)
 				}
 			}
 			return true

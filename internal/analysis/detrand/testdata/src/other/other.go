@@ -14,3 +14,7 @@ func jitter() time.Duration {
 func now() time.Time {
 	return time.Now()
 }
+
+func snooze() {
+	time.Sleep(time.Millisecond)
+}

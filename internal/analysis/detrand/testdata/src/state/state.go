@@ -20,6 +20,22 @@ func stamp() int64 {
 	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
 }
 
+func nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep schedules on the wall clock`
+}
+
+func later(fn func()) *time.Timer {
+	return time.AfterFunc(time.Second, fn) // want `time\.AfterFunc schedules on the wall clock`
+}
+
+func deadline() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After schedules on the wall clock`
+}
+
+func ticker() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer schedules on the wall clock`
+}
+
 // seeded is the sanctioned pattern: constructors are allowed, and
 // methods on an injected *rand.Rand are always fine.
 func seeded(seed int64, n int) int {

@@ -83,7 +83,7 @@ type packageFact struct {
 	Funcs []funcSummary
 }
 
-func (*packageFact) AFact()         {}
+func (*packageFact) AFact()           {}
 func (f *packageFact) String() string { return fmt.Sprintf("lockorder(%d edges)", len(f.Edges)) }
 
 // factEdge is one lock-class ordering edge with a human-readable witness

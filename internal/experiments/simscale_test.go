@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"hfc/internal/overlay"
+)
+
+// TestSimScaleConvergence is the §4/§5 scale gate: under virtual time,
+// churn bursts + crash/recover cycles + a cluster partition must still
+// end in ground-truth convergence, every probe must route, and no probed
+// path may exceed the paper's 2-consecutive-relay bound. The 32k drill is
+// skipped in -short (the CI sim job runs it explicitly); short mode
+// covers n <= 8k.
+func TestSimScaleConvergence(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		heavy bool // skipped in -short
+	}{
+		{"n1k", 1000, false},
+		{"n8k", 8000, false},
+		{"n32k", 32000, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("32k drill skipped in -short; the CI sim job runs it")
+			}
+			rep, err := overlay.Simulate(overlay.SimSpec{
+				N: tc.n, Churn: 4, Crashes: 2, Partition: true, Probes: 16,
+			}, 42)
+			if err != nil {
+				t.Fatalf("Simulate: %v", err)
+			}
+			if !rep.Converged {
+				t.Error("did not reconverge after churn, crashes, and partition heal")
+			}
+			if rep.Probes == 0 || rep.ProbeFailures != 0 {
+				t.Errorf("probes %d with %d failures, want >0 with 0", rep.Probes, rep.ProbeFailures)
+			}
+			if rep.MaxRelayRun > 2 {
+				t.Errorf("max consecutive relay run %d exceeds the paper's bound of 2", rep.MaxRelayRun)
+			}
+			if rep.Traffic.Total() == 0 || rep.Rounds == 0 {
+				t.Errorf("empty run: %d messages over %d rounds", rep.Traffic.Total(), rep.Rounds)
+			}
+		})
+	}
+}
+
+// TestSimConverge100k is the acceptance drill for the virtual-time
+// runtime: a seeded 100k-node tri-level overlay with churn and crashes
+// converges in under 60s of wall clock on one core, and a second run of
+// the same seed reproduces the event trace and state digest byte for
+// byte. ~1 minute for both runs, so it only fires when explicitly
+// requested via HFC_SIM_SCALE=1.
+func TestSimConverge100k(t *testing.T) {
+	if os.Getenv("HFC_SIM_SCALE") == "" {
+		t.Skip("set HFC_SIM_SCALE=1 to run the 100k virtual-time drill (~1 min)")
+	}
+	spec := overlay.SimSpec{N: 100_000, Multilevel: true, Churn: 4, Crashes: 2, Probes: 16}
+	//hfcvet:ignore detrand wall-clock acceptance measurement; no seeded state consumes it
+	start := time.Now()
+	a, err := overlay.Simulate(spec, 1)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !a.Converged {
+		t.Fatal("100k tri-level run did not converge")
+	}
+	if a.ProbeFailures != 0 {
+		t.Fatalf("%d of %d probes failed", a.ProbeFailures, a.Probes)
+	}
+	if wall >= 60*time.Second {
+		t.Errorf("100k run took %v, want < 60s", wall)
+	}
+	b, err := overlay.Simulate(spec, 1)
+	if err != nil {
+		t.Fatalf("Simulate (second run): %v", err)
+	}
+	if a.Trace != b.Trace {
+		t.Error("same-seed 100k traces differ")
+	}
+	if a.StateDigest != b.StateDigest || a.VirtualTime != b.VirtualTime {
+		t.Errorf("same-seed 100k runs diverged: digest %x/%x, vtime %v/%v",
+			a.StateDigest, b.StateDigest, a.VirtualTime, b.VirtualTime)
+	}
+	t.Logf("100k: %d clusters in %d groups, %d rounds, %d messages, vtime %v, wall %v",
+		a.Clusters, a.Groups, a.Rounds, a.Traffic.Total(), a.VirtualTime, wall)
+}

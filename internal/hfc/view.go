@@ -83,6 +83,40 @@ func (t *Topology) View(node int) (*NodeView, error) {
 	return v, nil
 }
 
+// SharedView materializes a node's view without copying: Members aliases
+// the topology's membership slice and Borders/BackupBorders alias the
+// topology's own maps, with coordinates served on demand through
+// ResolveCoord straight from the topology's point table instead of a
+// per-node Coords clone. A full-copy View costs O(K² + |C|) per node —
+// prohibitive at n=100k where the runtime builds one view per node — while
+// SharedView is O(1).
+//
+// The price is a strict aliasing contract: callers must treat Members,
+// Borders, and BackupBorders as read-only, and the backing Topology must
+// outlive the view. CoordinateStateSize reports 0 (the Fig. 9(a) state
+// accounting needs the materialized View). The large-scale simulation
+// runtime uses SharedView; anything measuring per-node state keeps View.
+func (t *Topology) SharedView(node int) (*NodeView, error) {
+	if node < 0 || node >= t.N() {
+		return nil, fmt.Errorf("hfc: view for node %d out of range [0,%d)", node, t.N())
+	}
+	c := t.ClusterOf(node)
+	return &NodeView{
+		Node:          node,
+		ClusterID:     c,
+		Members:       t.Members(c),
+		NumClusters:   t.NumClusters(),
+		Borders:       t.borders,
+		BackupBorders: t.backups,
+		ResolveCoord: func(u int) (coords.Point, bool) {
+			if u < 0 || u >= len(t.coords.Points) {
+				return nil, false
+			}
+			return t.coords.Points[u], true
+		},
+	}, nil
+}
+
 // Dist returns the embedded distance between two nodes whose coordinates
 // the view holds. It returns an error when the view lacks either node —
 // i.e., when routing code oversteps the node's legitimate knowledge.

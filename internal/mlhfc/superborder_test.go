@@ -1,0 +1,47 @@
+package mlhfc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSuperBorderMatchesBruteScan pins the geo-engine equivalence the build
+// relies on: the indexed closest-pair election for every super-border must
+// produce exactly the pair a brute first-minimum scan over the sorted group
+// members elects, tie rule included. The world is large enough (hundreds of
+// nodes per group) that geo.Auto actually builds spatial indexes rather
+// than falling back to brute internally.
+func TestSuperBorderMatchesBruteScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cmap := triWorld(t, rng, 4, 4, 40)
+	topo, err := Build(cmap, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k := topo.NumGroups()
+	if k < 2 {
+		t.Fatalf("got %d groups, want >= 2", k)
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			// Brute reference: first minimum over sorted members of a × b.
+			best := -1.0
+			bu, bv := -1, -1
+			for _, u := range topo.Members(a) {
+				for _, v := range topo.Members(b) {
+					if d := cmap.Dist(u, v); best < 0 || d < best {
+						best, bu, bv = d, u, v
+					}
+				}
+			}
+			gu, gv, err := topo.SuperBorder(a, b)
+			if err != nil {
+				t.Fatalf("SuperBorder(%d,%d): %v", a, b, err)
+			}
+			if gu != bu || gv != bv {
+				t.Errorf("super-border (%d,%d): indexed (%d,%d), brute (%d,%d) at dist %v",
+					a, b, gu, gv, bu, bv, best)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"hfc/internal/cluster"
 	"hfc/internal/coords"
+	"hfc/internal/geo"
 	"hfc/internal/graph"
 	"hfc/internal/hfc"
 	"hfc/internal/par"
@@ -214,7 +215,14 @@ func BuildFromGroupingWorkers(cmap *coords.Map, grouping *cluster.Result, inner 
 		if err != nil {
 			return fmt.Errorf("mlhfc: group %d map: %w", g, err)
 		}
-		clustering, err := cluster.Cluster(sub.N(), sub.Dist, inner)
+		// The interior clustering runs over GROUP-LOCAL indices, so any
+		// Points the caller supplied (global indices) must be replaced by
+		// the group's own sub-map — which also switches the interior MST
+		// onto the sub-quadratic geometric engine, the difference between
+		// minutes and seconds at n=100k.
+		innerCfg := inner
+		innerCfg.Points = sub.Points
+		clustering, err := cluster.Cluster(sub.N(), sub.Dist, innerCfg)
 		if err != nil {
 			return fmt.Errorf("mlhfc: group %d clustering: %w", g, err)
 		}
@@ -245,19 +253,26 @@ func BuildFromGroupingWorkers(cmap *coords.Map, grouping *cluster.Result, inner 
 			pairs = append(pairs, groupPair{a, b})
 		}
 	}
+	// One spatial index per group, shared by that group's k-1 pair scans;
+	// geo's (Dist, A, B) tie rule equals the old brute scan's first-minimum
+	// over sorted members, so the elected pairs are bit-identical.
+	indexes := make([]geo.Index, k)
+	if err := par.ForErr(k, workers, func(g int) error {
+		idx, err := geo.NewIndex(cmap.Points, t.groups[g], geo.Auto)
+		if err != nil {
+			return fmt.Errorf("mlhfc: group %d index: %w", g, err)
+		}
+		indexes[g] = idx
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	par.For(len(pairs), workers, func(i int) {
 		a, b := pairs[i].a, pairs[i].b
-		bestA, bestB, bestD := -1, -1, 0.0
-		for _, u := range t.groups[a] {
-			for _, v := range t.groups[b] {
-				d := cmap.Dist(u, v)
-				if bestA == -1 || d < bestD {
-					bestA, bestB, bestD = u, v, d
-				}
-			}
+		if p, ok := geo.ClosestPairIndexed(cmap.Points, t.groups[a], indexes[b], nil, nil); ok {
+			t.superBorder[a][b] = p.A
+			t.superBorder[b][a] = p.B
 		}
-		t.superBorder[a][b] = bestA
-		t.superBorder[b][a] = bestB
 	})
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // LinkFault describes a partial failure of one directed link — the fault
@@ -181,4 +182,18 @@ func (n *Network) EffectiveLatency(u, v int) float64 {
 		return f.DelayMS(base, 0)
 	}
 	return base
+}
+
+// OverlayLatency adapts the network's deterministic delay model to the
+// overlay runtime's Config.Latency hook: every proxy-to-proxy delivery is
+// charged the fault-adjusted one-way delay of the underlying physical
+// path, scaled by `scale` (1.0 charges real milliseconds; a virtual-time
+// simulation is free to compress or stretch). Proxy i must live on
+// physical node i — callers overlaying a subset of the physical network
+// wrap the returned function with their own ID mapping. The result is
+// deterministic and safe for concurrent use alongside fault updates.
+func (n *Network) OverlayLatency(scale float64) func(u, v int) time.Duration {
+	return func(u, v int) time.Duration {
+		return time.Duration(n.EffectiveLatency(u, v) * scale * float64(time.Millisecond))
+	}
 }

@@ -67,7 +67,24 @@ func (s *System) Recover(id int) error {
 		SeqP: n.state.SeqP,
 		SeqC: n.state.SeqC,
 	}
+	// The generation tokens and aggregate cache describe tables that were
+	// just wiped: forget them so the next flood re-installs everything.
+	for i := range n.genSeen {
+		n.genSeen[i] = 0
+	}
+	for i := range n.aggGenSeen {
+		n.aggGenSeen[i] = 0
+	}
+	for i := range n.fwdEpoch {
+		n.fwdEpoch[i] = 0
+	}
+	n.aggCache = nil
+	n.aggDirty = true
 	n.st.Unlock()
+	// The rejoined node holds none of the foreign aggregates its cluster's
+	// borders may have stopped re-flooding: advance the repair epoch so
+	// every border repeats the intra-cluster forward once.
+	s.repairEpoch[n.view.ClusterID].Add(1)
 	// A recovered node starts with a clean bill of health: pre-crash
 	// suspicion was evidence about a process that no longer exists.
 	s.clearQuarantine(id)
@@ -116,11 +133,15 @@ func (s *System) CrashedNodes() []int {
 // must hold exact state for live members and bracketed aggregates (see
 // state.VerifyConvergenceExcept); crashed nodes' frozen tables are skipped.
 func (s *System) ConvergedLive() (bool, error) {
+	crashed := func(n int) bool { return s.IsCrashed(n) }
+	if s.sim != nil {
+		// Baton-ordered simulation mode: verify through aliases, no copy.
+		return state.VerifyConvergenceExcept(s.topo, s.Capabilities(), s.simStates(), crashed) == nil, nil
+	}
 	states, err := s.States()
 	if err != nil {
 		return false, err
 	}
-	crashed := func(n int) bool { return s.IsCrashed(n) }
 	return state.VerifyConvergenceExcept(s.topo, s.Capabilities(), states, crashed) == nil, nil
 }
 

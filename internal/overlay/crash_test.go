@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -75,24 +76,32 @@ func TestCrashRecoverValidation(t *testing.T) {
 
 func TestRouteToCrashedDestTimesOut(t *testing.T) {
 	topo, caps := buildFixture(t, 61)
-	sys := startSystem(t, topo, caps, fastFaultConfig())
-	convergeRounds(t, sys, 2)
+	cfg := fastFaultConfig()
+	sys, sim := startSimSystem(t, topo, caps, cfg)
 
 	req, err := newRequest(t, caps, 61)
 	if err != nil {
 		t.Fatalf("newRequest: %v", err)
 	}
-	if err := sys.Crash(req.Dest); err != nil {
-		t.Fatalf("Crash: %v", err)
-	}
-	start := time.Now()
-	_, rerr := sys.Route(req)
+	var rerr error
+	var elapsed time.Duration
+	sim.Run(func() {
+		convergeRounds(t, sys, 2)
+		if err := sys.Crash(req.Dest); err != nil {
+			t.Errorf("Crash: %v", err)
+			return
+		}
+		start := sim.Now()
+		_, rerr = sys.Route(req)
+		elapsed = sim.Now() - start
+	})
 	if !errors.Is(rerr, ErrRPCTimeout) {
 		t.Fatalf("Route to crashed dest: err = %v, want ErrRPCTimeout", rerr)
 	}
-	// RPCRetries=1 → two attempts, each bounded by RouteTimeout.
-	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Errorf("timed-out route took %v, deadlines not enforced", elapsed)
+	// Virtual time makes the deadline math exact: RPCRetries=1 → two
+	// attempts of RouteTimeout each, separated by one backoff.
+	if want := 2*cfg.RouteTimeout + cfg.RPCBackoff; elapsed != want {
+		t.Errorf("timed-out route took %v of virtual time, want exactly %v", elapsed, want)
 	}
 	fc := sys.FaultCounters()
 	if fc.DroppedToCrashed < 2 {
@@ -332,10 +341,10 @@ func TestStaleRefloodRejected(t *testing.T) {
 	// Replay a round-1 flood carrying bogus state — a delayed duplicate
 	// from before convergence. The sequence check must discard it.
 	sys.send(-1, victim, message{
-		kind:          kindLocal,
-		localFrom:     origin,
-		localServices: []svc.Service{"bogus-replayed"},
-		seq:           1,
+		kind:      kindLocal,
+		localFrom: origin,
+		localSet:  svc.NewCapabilitySet("bogus-replayed"),
+		seq:       1,
 	})
 	sys.Quiesce()
 
@@ -387,17 +396,26 @@ func TestStopSendRaceHammer(t *testing.T) {
 			t.Fatalf("Start: %v", err)
 		}
 		var stopped atomic.Bool
+		var rounds atomic.Int64
 		var wg sync.WaitGroup
 		for g := 0; g < 4; g++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for !stopped.Load() {
+				// The cap bounds how much flood traffic Stop must drain;
+				// the race window is in the first few rounds anyway.
+				for !stopped.Load() && rounds.Load() < 32 {
 					sys.TriggerStateRound()
+					rounds.Add(1)
 				}
 			}()
 		}
-		time.Sleep(time.Duration(i%3) * time.Millisecond)
+		// Vary how much send traffic Stop races against — a work-based
+		// stagger instead of a wall-clock sleep, so the hammer spends its
+		// whole budget hammering.
+		for target := int64(i % 3); rounds.Load() < target; {
+			runtime.Gosched()
+		}
 		if err := sys.Stop(); err != nil {
 			t.Fatalf("Stop: %v", err)
 		}

@@ -3,7 +3,6 @@ package overlay
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"hfc/internal/routing"
 	"hfc/internal/svc"
@@ -27,7 +26,7 @@ type dataMsg struct {
 	idx     int
 	payload string
 	trace   *ExecutionTrace
-	reply   chan dataReply
+	reply   *replyTo[dataReply]
 }
 
 type dataReply struct {
@@ -49,7 +48,7 @@ func (s *System) Execute(path *routing.Path, payload string) (*ExecutionTrace, e
 			return nil, fmt.Errorf("overlay: path hop node %d out of range [0,%d)", h.Node, len(s.nodes))
 		}
 	}
-	reply := make(chan dataReply, 1)
+	reply := newReply[dataReply](s)
 	m := message{
 		kind: kindData,
 		data: &dataMsg{
@@ -65,29 +64,25 @@ func (s *System) Execute(path *routing.Path, payload string) (*ExecutionTrace, e
 	// (crashed hop, dropped forward) surfaces as a deadline miss and the
 	// client re-routes — by then the control plane has steered around the
 	// failure.
-	timer := time.NewTimer(s.cfg.RouteTimeout)
-	defer timer.Stop()
-	select {
-	case out := <-reply:
+	if out, ok := reply.await(s, s.cfg.RouteTimeout); ok {
 		return out.trace, out.err
-	case <-timer.C:
-		return nil, fmt.Errorf("overlay: execute on %d-hop path: %w", len(path.Hops), ErrRPCTimeout)
 	}
+	return nil, fmt.Errorf("overlay: execute on %d-hop path: %w", len(path.Hops), ErrRPCTimeout)
 }
 
 // handleData is one proxy's data-plane step: verify + apply the hop's
 // service, then forward to the next hop (or reply when the path ends).
 func (n *node) handleData(m message) {
-	defer n.sys.inflight.Done()
+	defer n.sys.doneInflight()
 	d := m.data
 	hop := d.hops[d.idx]
 	if hop.Node != n.id {
-		d.reply <- dataReply{err: fmt.Errorf("overlay: hop %d addressed to %d but delivered to %d", d.idx, hop.Node, n.id)}
+		d.reply.deliver(dataReply{err: fmt.Errorf("overlay: hop %d addressed to %d but delivered to %d", d.idx, hop.Node, n.id)})
 		return
 	}
 	if hop.Service != "" {
 		if !n.sys.capsOf(n.id).Has(hop.Service) {
-			d.reply <- dataReply{err: fmt.Errorf("overlay: proxy %d asked to apply %q which it does not provide", n.id, hop.Service)}
+			d.reply.deliver(dataReply{err: fmt.Errorf("overlay: proxy %d asked to apply %q which it does not provide", n.id, hop.Service)})
 			return
 		}
 		d.payload = fmt.Sprintf("%s(%s)", hop.Service, d.payload)
@@ -95,7 +90,7 @@ func (n *node) handleData(m message) {
 		d.trace.Payload = d.payload
 	}
 	if d.idx+1 == len(d.hops) {
-		d.reply <- dataReply{trace: d.trace}
+		d.reply.deliver(dataReply{trace: d.trace})
 		return
 	}
 	d.idx++
@@ -103,7 +98,7 @@ func (n *node) handleData(m message) {
 	if next == n.id {
 		// Consecutive services on the same proxy: keep processing locally
 		// without a network transmission.
-		n.sys.inflight.Add(1)
+		n.sys.addInflight()
 		n.handleData(m)
 		return
 	}

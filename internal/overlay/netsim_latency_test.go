@@ -1,0 +1,93 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hfc/internal/netsim"
+	"hfc/internal/topology"
+)
+
+// physicalNetwork builds a deterministic transit-stub measurement network
+// large enough to host the 24-proxy overlay fixture (proxy i lives on
+// physical node i, the identity embedding OverlayLatency documents).
+func physicalNetwork(t *testing.T, seed int64) *netsim.Network {
+	t.Helper()
+	phys, err := topology.GenerateTransitStub(rand.New(rand.NewSource(seed)), topology.DefaultTransitStubConfig())
+	if err != nil {
+		t.Fatalf("GenerateTransitStub: %v", err)
+	}
+	net, err := netsim.New(phys)
+	if err != nil {
+		t.Fatalf("netsim.New: %v", err)
+	}
+	return net
+}
+
+// TestNetsimLatencyUnderVirtualTime wires the measurement simulator's
+// per-link delay model into the overlay runtime's Config.Latency hook and
+// runs the protocol on a virtual clock: every delivery is charged the
+// physical path's one-way delay, so the virtual clock must advance, the
+// protocol must still converge, and two same-seed runs must agree on the
+// exact virtual duration — the end-to-end determinism contract across the
+// netsim → overlay → vtime stack.
+func TestNetsimLatencyUnderVirtualTime(t *testing.T) {
+	run := func() time.Duration {
+		net := physicalNetwork(t, 3)
+		topo, caps := buildFixture(t, 9)
+		sys, sim := startSimSystem(t, topo, caps, Config{Latency: net.OverlayLatency(1.0)})
+		sim.Run(func() {
+			sys.TriggerStateRound()
+			sys.Quiesce()
+			sys.TriggerStateRound()
+			sys.Quiesce()
+		})
+		ok, err := sys.Converged()
+		if err != nil {
+			t.Fatalf("Converged: %v", err)
+		}
+		if !ok {
+			t.Fatal("overlay did not converge under netsim latency")
+		}
+		return sim.Now()
+	}
+	a := run()
+	if a == 0 {
+		t.Fatal("virtual clock did not advance despite per-link latency")
+	}
+	if b := run(); a != b {
+		t.Fatalf("same-seed virtual durations differ: %v vs %v", a, b)
+	}
+}
+
+// TestNetsimLatencyFaultsSlowConvergence checks that impairing physical
+// links through the fault table is visible to the overlay: inflating every
+// link's delay stretches the virtual time the same protocol run consumes.
+func TestNetsimLatencyFaultsSlowConvergence(t *testing.T) {
+	elapse := func(fault netsim.LinkFault) time.Duration {
+		net := physicalNetwork(t, 3)
+		topo, caps := buildFixture(t, 9)
+		if !fault.IsZero() {
+			n := topo.N()
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if u != v {
+						net.Faults().Set(u, v, fault)
+					}
+				}
+			}
+		}
+		sys, sim := startSimSystem(t, topo, caps, Config{Latency: net.OverlayLatency(1.0)})
+		sim.Run(func() {
+			sys.TriggerStateRound()
+			sys.Quiesce()
+		})
+		return sim.Now()
+	}
+	healthy := elapse(netsim.LinkFault{})
+	congested := elapse(netsim.LinkFault{DelayFactor: 4, DelayAddMS: 10})
+	if congested <= healthy {
+		t.Fatalf("congested run (%v) not slower than healthy run (%v)", congested, healthy)
+	}
+}

@@ -2,7 +2,6 @@ package overlay
 
 import (
 	"math/rand"
-	"sync"
 	"testing"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"hfc/internal/routing"
 	"hfc/internal/state"
 	"hfc/internal/svc"
+	"hfc/internal/vtime"
 )
 
 // buildFixture creates a 3-cluster overlay with deterministic geometry and
@@ -62,6 +62,25 @@ func startSystem(t *testing.T, topo *hfc.Topology, caps []svc.CapabilitySet, cfg
 		_ = sys.Stop()
 	})
 	return sys
+}
+
+// startSimSystem builds a system on a fresh virtual clock. Every driving
+// call (TriggerStateRound, Quiesce, Route, Execute) must then run inside
+// sim.Run, which also supplies deadlock detection for free: a wedged
+// protocol panics with a blocked-task report instead of hanging the test.
+func startSimSystem(t *testing.T, topo *hfc.Topology, caps []svc.CapabilitySet, cfg Config) (*System, *vtime.Sim) {
+	t.Helper()
+	sim := vtime.NewSim()
+	cfg.Clock = sim
+	sys, err := New(topo, caps, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = sys.Stop() })
+	return sys, sim
 }
 
 func TestNewValidation(t *testing.T) {
@@ -184,11 +203,7 @@ func TestDistributedRoutingMatchesSimulation(t *testing.T) {
 
 func TestConcurrentRoutesDoNotDeadlock(t *testing.T) {
 	topo, caps := buildFixture(t, 5)
-	sys := startSystem(t, topo, caps, Config{})
-	sys.TriggerStateRound()
-	sys.Quiesce()
-	sys.TriggerStateRound()
-	sys.Quiesce()
+	sys, sim := startSimSystem(t, topo, caps, Config{})
 
 	rng := rand.New(rand.NewSource(10))
 	gen, err := svc.NewRequestGenerator(rng, caps, 2, 4)
@@ -203,35 +218,79 @@ func TestConcurrentRoutesDoNotDeadlock(t *testing.T) {
 		}
 		reqs[i] = r
 	}
-	var wg sync.WaitGroup
-	errs := make(chan error, len(reqs))
-	for _, req := range reqs {
-		wg.Add(1)
-		go func(req svc.Request) {
-			defer wg.Done()
-			res, err := sys.Route(req)
-			if err != nil {
-				errs <- err
-				return
-			}
-			if err := res.Path.Validate(req, caps); err != nil {
-				errs <- err
-			}
-		}(req)
-	}
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
-		t.Fatal("concurrent routing deadlocked")
-	}
-	close(errs)
-	for err := range errs {
+	// Under virtual time a deadlock is not a 30-second hang: the scheduler
+	// panics the moment no task can make progress, naming the blocked tasks.
+	var errs []error
+	sim.Run(func() {
+		sys.TriggerStateRound()
+		sys.Quiesce()
+		sys.TriggerStateRound()
+		sys.Quiesce()
+		for _, req := range reqs {
+			req := req
+			sim.Go("route", func() {
+				res, err := sys.Route(req)
+				if err != nil {
+					errs = append(errs, err)
+					return
+				}
+				if err := res.Path.Validate(req, caps); err != nil {
+					errs = append(errs, err)
+				}
+			})
+		}
+		sim.WaitIdle()
+	})
+	for _, err := range errs {
 		t.Errorf("concurrent route: %v", err)
+	}
+}
+
+// TestSimModeMatchesRealMode converges the same fixture once on the wall
+// clock and once on the virtual clock and requires identical per-node
+// protocol state: the simulation runtime is the same protocol, only the
+// scheduler differs.
+func TestSimModeMatchesRealMode(t *testing.T) {
+	topo, caps := buildFixture(t, 5)
+
+	real := startSystem(t, topo, caps, Config{})
+	real.TriggerStateRound()
+	real.Quiesce()
+	real.TriggerStateRound()
+	real.Quiesce()
+	realStates, err := real.States()
+	if err != nil {
+		t.Fatalf("real States: %v", err)
+	}
+
+	simSys, sim := startSimSystem(t, topo, caps, Config{})
+	sim.Run(func() {
+		simSys.TriggerStateRound()
+		simSys.Quiesce()
+		simSys.TriggerStateRound()
+		simSys.Quiesce()
+	})
+	simStates, err := simSys.States()
+	if err != nil {
+		t.Fatalf("sim States: %v", err)
+	}
+
+	for i := range realStates {
+		r, s := realStates[i], simStates[i]
+		for origin, set := range r.SCTP {
+			if !s.SCTP[origin].Equal(set) {
+				t.Fatalf("node %d SCTP[%d]: sim %v != real %v", i, origin, s.SCTP[origin], set)
+			}
+		}
+		if len(r.SCTP) != len(s.SCTP) || len(r.SCTC) != len(s.SCTC) {
+			t.Fatalf("node %d: table sizes diverge (sim %d/%d, real %d/%d)",
+				i, len(s.SCTP), len(s.SCTC), len(r.SCTP), len(r.SCTC))
+		}
+		for cl, set := range r.SCTC {
+			if !s.SCTC[cl].Equal(set) {
+				t.Fatalf("node %d SCTC[%d]: sim %v != real %v", i, cl, s.SCTC[cl], set)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,717 @@
+package overlay
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"time"
+
+	"hfc/internal/cluster"
+	"hfc/internal/coords"
+	"hfc/internal/hfc"
+	"hfc/internal/mlhfc"
+	"hfc/internal/routing"
+	"hfc/internal/state"
+	"hfc/internal/svc"
+	"hfc/internal/vtime"
+)
+
+// SimSpec configures one seeded end-to-end simulation: a generated
+// geometric overlay of N proxies driven through convergence, capability
+// churn, a cluster partition, and crash/recovery cycles entirely on a
+// virtual clock. Every run with the same (spec, seed) produces a
+// byte-identical Trace and StateDigest — the FoundationDB-style property
+// that turns "it flaked once at 3am" into "replay seed 1742".
+type SimSpec struct {
+	// N is the overlay size (>= 16).
+	N int
+	// Multilevel switches to the tri-level mlhfc hierarchy: one overlay
+	// runtime per group on a shared scheduler, with the super-aggregate
+	// layer maintained by the harness. Required past ~50k nodes, where a
+	// flat §4 round's 2n^1.5 messages stop fitting in a test budget.
+	Multilevel bool
+	// Groups fixes the multilevel fan-out (0 picks n^⅓, the balanced
+	// tri-level split).
+	Groups int
+	// Rounds is the number of state rounds per convergence phase
+	// (default 2 — local flood, then aggregate exchange settles).
+	Rounds int
+	// Churn is how many capability-churn events to inject.
+	Churn int
+	// Crashes is how many crash/recover cycles to run.
+	Crashes int
+	// Partition, when true, isolates one cluster for a round and then
+	// heals it.
+	Partition bool
+	// Probes is how many route probes to issue per probe phase.
+	Probes int
+	// MeasureImprecision additionally solves every flat-mode probe with
+	// the optimal flat router and reports the mean length ratio
+	// (hierarchical / optimal) — the Fig. 10 imprecision signal. Ignored
+	// in multilevel mode.
+	MeasureImprecision bool
+	// DelayPerUnit, when positive, charges Dist(u,v)·DelayPerUnit of
+	// virtual time per delivery (free under virtual time, but it shuffles
+	// event order realistically).
+	DelayPerUnit time.Duration
+}
+
+func (spec SimSpec) withDefaults() SimSpec {
+	if spec.Rounds == 0 {
+		spec.Rounds = 2
+	}
+	return spec
+}
+
+// SimReport is the outcome of one Simulate run.
+type SimReport struct {
+	// N, Clusters, and Groups describe the generated topology (Groups is
+	// 0 in flat mode; Clusters sums the per-group interiors in multilevel
+	// mode).
+	N, Clusters, Groups int
+	// Rounds counts the state rounds actually triggered.
+	Rounds int
+	// Traffic totals delivered runtime messages (summed over the
+	// per-group runtimes in multilevel mode).
+	Traffic TrafficStats
+	// Faults totals fault-path events the same way.
+	Faults FaultStats
+	// SuperMessages counts the harness-level super-aggregate exchange
+	// messages (multilevel only).
+	SuperMessages int
+	// Probes and ProbeFailures count route probes issued and failed.
+	Probes, ProbeFailures int
+	// MaxRelayRun is the longest run of consecutive pure-relay hops seen
+	// in any probed path — the §5 bound says <= 2 for bi-level routing
+	// (one border pair per cluster crossing).
+	MaxRelayRun int
+	// MeanImprecision is the mean hierarchical/optimal path-length ratio
+	// (0 when not measured).
+	MeanImprecision float64
+	// Converged reports the final ground-truth convergence check.
+	Converged bool
+	// VirtualTime is the simulated clock at the end of the run.
+	VirtualTime time.Duration
+	// Trace is the deterministic event log: byte-identical across runs
+	// with the same spec and seed.
+	Trace string
+	// StateDigest is an order-independent FNV digest of every node's
+	// final converged state.
+	StateDigest uint64
+}
+
+// simPoints is the simulation workload generator: proxies drawn around
+// `blobs` Gaussian blobs in a 1000-unit square, the workload family the
+// construction gates measure. Callers pick the blob count to land cluster
+// sizes near the paper's per-round traffic optimum for their mode — with
+// a fixed count, per-cluster membership (and hence local-flood traffic
+// per round) would grow as O(n²). Centers sit on a jittered grid rather
+// than uniform-random positions: at hundreds of blobs, random centers
+// frequently land close enough to chain neighbouring blobs into one MST
+// cluster, collapsing K and with it the whole traffic model.
+func simPoints(rng *rand.Rand, n, blobs int) []coords.Point {
+	if blobs < 16 {
+		blobs = 16
+	}
+	side := int(math.Ceil(math.Sqrt(float64(blobs))))
+	spacing := 1000.0 / float64(side)
+	sigma := spacing / 10
+	centers := make([]coords.Point, blobs)
+	for b := range centers {
+		row, col := b/side, b%side
+		centers[b] = coords.Point{
+			(float64(col)+0.5)*spacing + (rng.Float64()-0.5)*spacing/4,
+			(float64(row)+0.5)*spacing + (rng.Float64()-0.5)*spacing/4,
+		}
+	}
+	pts := make([]coords.Point, n)
+	for i := range pts {
+		c := centers[i%blobs]
+		pts[i] = coords.Point{c[0] + rng.NormFloat64()*sigma, c[1] + rng.NormFloat64()*sigma}
+	}
+	return pts
+}
+
+// simPointsHier is simPoints with one more level of structure: `groups`
+// superblobs on a coarse jittered grid, each holding `blobsPerGroup` blobs
+// on its own fine grid, with every length scale an order of magnitude
+// below the one above (group gap ≫ blob gap ≫ blob radius). The MST
+// therefore cuts group-separating edges first and blob-separating edges
+// second — the hierarchical workload the tri-level builder is meant for.
+func simPointsHier(rng *rand.Rand, n, groups, blobsPerGroup int) []coords.Point {
+	if blobsPerGroup < 1 {
+		blobsPerGroup = 1
+	}
+	sideG := int(math.Ceil(math.Sqrt(float64(groups))))
+	spacingG := 1000.0 / float64(sideG)
+	sideB := int(math.Ceil(math.Sqrt(float64(blobsPerGroup))))
+	span := spacingG * 0.5
+	spacingB := span / float64(sideB)
+	sigma := spacingB / 10
+	centers := make([]coords.Point, groups*blobsPerGroup)
+	for g := 0; g < groups; g++ {
+		gRow, gCol := g/sideG, g%sideG
+		gx := (float64(gCol)+0.5)*spacingG + (rng.Float64()-0.5)*spacingG/8
+		gy := (float64(gRow)+0.5)*spacingG + (rng.Float64()-0.5)*spacingG/8
+		for b := 0; b < blobsPerGroup; b++ {
+			bRow, bCol := b/sideB, b%sideB
+			centers[g*blobsPerGroup+b] = coords.Point{
+				gx - span/2 + (float64(bCol)+0.5)*spacingB + (rng.Float64()-0.5)*spacingB/4,
+				gy - span/2 + (float64(bRow)+0.5)*spacingB + (rng.Float64()-0.5)*spacingB/4,
+			}
+		}
+	}
+	pts := make([]coords.Point, n)
+	for i := range pts {
+		c := centers[i%len(centers)]
+		pts[i] = coords.Point{c[0] + rng.NormFloat64()*sigma, c[1] + rng.NormFloat64()*sigma}
+	}
+	return pts
+}
+
+// maxRelayRun returns the longest run of consecutive relay (service-free,
+// non-endpoint) hops in the path.
+func maxRelayRun(p *routing.Path) int {
+	best, run := 0, 0
+	for i, h := range p.Hops {
+		if i > 0 && i < len(p.Hops)-1 && h.Service == "" {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return best
+}
+
+// digestStates folds every (node, table, origin, services) entry of the
+// final protocol state into one order-independent digest: each entry is
+// FNV-hashed on its own and XORed in, so map iteration order cannot leak
+// into the result.
+func digestStates(states []state.NodeState) uint64 {
+	var acc uint64
+	// Simulation states alias shared capability sets (every SCTP entry for
+	// one origin is the same map; every SCTC entry for one cluster is the
+	// border's shared aggregate), so hash each distinct set once, keyed by
+	// map identity. Identity is only a cache key — two different maps with
+	// equal content simply hash twice to the same value.
+	setMemo := make(map[uintptr]uint64, len(states))
+	setHash := func(set svc.CapabilitySet) uint64 {
+		key := reflect.ValueOf(set).Pointer()
+		if h, ok := setMemo[key]; ok && key != 0 {
+			return h
+		}
+		h := fnv.New64a()
+		for _, s := range set.Sorted() {
+			// hash.Hash writes never fail.
+			_, _ = h.Write([]byte(s))
+			_, _ = h.Write([]byte{','})
+		}
+		sum := h.Sum64()
+		if key != 0 {
+			setMemo[key] = sum
+		}
+		return sum
+	}
+	entry := func(node int, table string, key int, set svc.CapabilitySet) {
+		h := fnv.New64a()
+		_, _ = fmt.Fprintf(h, "%d|%s|%d|%016x", node, table, key, setHash(set))
+		acc ^= h.Sum64()
+	}
+	for _, st := range states {
+		for origin, set := range st.SCTP {
+			entry(st.Node, "p", origin, set)
+		}
+		for cl, set := range st.SCTC {
+			entry(st.Node, "c", cl, set)
+		}
+	}
+	return acc
+}
+
+// Simulate builds a seeded overlay and drives it through convergence,
+// churn, partition, and crash phases on a virtual clock, returning the
+// deterministic report. Runs are single-threaded discrete-event
+// executions: n=32k flat or n=100k multilevel finish in seconds of wall
+// time while simulating minutes of protocol timeouts.
+func Simulate(spec SimSpec, seed int64) (*SimReport, error) {
+	spec = spec.withDefaults()
+	if spec.N < 16 {
+		return nil, fmt.Errorf("overlay: simulate N=%d too small (need >= 16)", spec.N)
+	}
+	if spec.Multilevel {
+		return simulateMultilevel(spec, seed)
+	}
+	return simulateFlat(spec, seed)
+}
+
+// simTrace accumulates the deterministic event log.
+type simTrace struct {
+	b strings.Builder
+}
+
+func (t *simTrace) f(format string, args ...interface{}) {
+	fmt.Fprintf(&t.b, format+"\n", args...)
+}
+
+func simulateFlat(spec SimSpec, seed int64) (*SimReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	// Bi-level optimum: |C| ≈ K ≈ √n balances the per-round local floods
+	// (n·|C|) against the aggregate re-floods (n·(K-1)).
+	pts := simPoints(rng, spec.N, int(math.Sqrt(float64(spec.N))))
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		return nil, err
+	}
+	clustering, err := cluster.Cluster(spec.N, cmap.Dist, cluster.Config{
+		Points:         cmap.Points,
+		MinClusterSize: 8,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("overlay: simulate cluster: %w", err)
+	}
+	topo, err := hfc.Build(cmap, clustering)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: simulate build: %w", err)
+	}
+	cat, err := svc.NewCatalog(12)
+	if err != nil {
+		return nil, err
+	}
+	caps, err := svc.RandomCapabilities(rng, spec.N, cat, 2, 5)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := vtime.NewSim()
+	// The partition filter is read on the scheduler runner (baton-ordered
+	// with its writers below), so a plain variable suffices.
+	partitioned := -1
+	cfg := Config{
+		Clock:        sim,
+		DelayPerUnit: spec.DelayPerUnit,
+		LinkPolicy: func(from, to int, kind MsgKind) LinkVerdict {
+			if partitioned >= 0 &&
+				(topo.ClusterOf(from) == partitioned) != (topo.ClusterOf(to) == partitioned) {
+				return LinkVerdict{Drop: true}
+			}
+			return LinkVerdict{}
+		},
+	}
+	sys, err := New(topo, caps, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+
+	rep := &SimReport{N: spec.N, Clusters: topo.NumClusters()}
+	tr := &simTrace{}
+	tr.f("sim seed=%d mode=flat n=%d clusters=%d rounds=%d churn=%d crashes=%d partition=%v probes=%d",
+		seed, spec.N, rep.Clusters, spec.Rounds, spec.Churn, spec.Crashes, spec.Partition, spec.Probes)
+
+	converge := func(label string, rounds int) {
+		for i := 0; i < rounds; i++ {
+			sys.TriggerStateRound()
+			sys.Quiesce()
+			rep.Rounds++
+			tf := sys.Traffic()
+			tr.f("round %d (%s): local=%d agg=%d t=%v", rep.Rounds, label, tf.Local, tf.Aggregate, sim.Now())
+		}
+	}
+
+	var imprecisions []float64
+	probePhase := func(label string) error {
+		if spec.Probes == 0 {
+			return nil
+		}
+		cur := sys.Capabilities()
+		gen, err := svc.NewRequestGenerator(rng, cur, 2, 4)
+		if err != nil {
+			return err
+		}
+		provs := routing.CapabilityProviders(cur)
+		oracle := routing.OracleFunc(cmap.Dist)
+		for i := 0; i < spec.Probes; i++ {
+			req, err := gen.Next()
+			if err != nil {
+				return err
+			}
+			res, err := sys.Route(req)
+			rep.Probes++
+			if err != nil {
+				rep.ProbeFailures++
+				tr.f("probe %s/%d: FAIL %v", label, i, err)
+				continue
+			}
+			run := maxRelayRun(res.Path)
+			if run > rep.MaxRelayRun {
+				rep.MaxRelayRun = run
+			}
+			if err := res.Path.Validate(req, cur); err != nil {
+				return fmt.Errorf("overlay: simulate probe %s/%d invalid path: %w", label, i, err)
+			}
+			tr.f("probe %s/%d: hops=%d relayrun=%d", label, i, len(res.Path.Hops), run)
+			if spec.MeasureImprecision {
+				opt, err := routing.FindPath(req, provs, oracle, nil)
+				if err != nil {
+					return fmt.Errorf("overlay: simulate probe %s/%d optimal: %w", label, i, err)
+				}
+				if ol := opt.Length(cmap.Dist); ol > 0 {
+					imprecisions = append(imprecisions, res.Path.Length(cmap.Dist)/ol)
+				}
+			}
+		}
+		return nil
+	}
+
+	var simErr error
+	sim.Run(func() {
+		converge("initial", spec.Rounds)
+		if simErr = probePhase("pre"); simErr != nil {
+			return
+		}
+		for i := 0; i < spec.Churn; i++ {
+			victim := rng.Intn(spec.N)
+			fresh, err := svc.RandomCapabilities(rng, 1, cat, 2, 5)
+			if err != nil {
+				simErr = err
+				return
+			}
+			if err := sys.UpdateCapability(victim, fresh[0]); err != nil {
+				simErr = err
+				return
+			}
+			tr.f("churn %d: node %d -> %d services", i, victim, fresh[0].Len())
+		}
+		if spec.Churn > 0 {
+			converge("churn", spec.Rounds)
+		}
+		if spec.Partition {
+			partitioned = rng.Intn(topo.NumClusters())
+			tr.f("partition: isolate cluster %d", partitioned)
+			converge("partitioned", 1)
+			partitioned = -1
+			tr.f("partition: healed (policy dropped %d)", sys.FaultCounters().DroppedByPolicy)
+			converge("healed", spec.Rounds)
+		}
+		for i := 0; i < spec.Crashes; i++ {
+			victim := rng.Intn(spec.N)
+			if err := sys.Crash(victim); err != nil {
+				simErr = err
+				return
+			}
+			tr.f("crash %d: node %d", i, victim)
+			converge("crashed", 1)
+			if err := sys.Recover(victim); err != nil {
+				simErr = err
+				return
+			}
+			tr.f("recover %d: node %d", i, victim)
+		}
+		if spec.Crashes > 0 {
+			converge("recovered", spec.Rounds)
+		}
+		if simErr = probePhase("post"); simErr != nil {
+			return
+		}
+	})
+	if simErr != nil {
+		_ = sys.Stop()
+		return nil, simErr
+	}
+
+	converged, err := sys.Converged()
+	if err != nil {
+		_ = sys.Stop()
+		return nil, err
+	}
+	states := sys.simStates()
+	if err := sys.Stop(); err != nil {
+		return nil, err
+	}
+	rep.Converged = converged
+	rep.Traffic = sys.Traffic()
+	rep.Faults = sys.FaultCounters()
+	rep.VirtualTime = sim.Now()
+	rep.StateDigest = digestStates(states)
+	if len(imprecisions) > 0 {
+		sum := 0.0
+		for _, r := range imprecisions {
+			sum += r
+		}
+		rep.MeanImprecision = sum / float64(len(imprecisions))
+	}
+	tr.f("final: converged=%v relaymax=%d virtual=%v digest=%016x",
+		converged, rep.MaxRelayRun, rep.VirtualTime, rep.StateDigest)
+	rep.Trace = tr.b.String()
+	return rep, nil
+}
+
+// simulateMultilevel runs the tri-level hierarchy: every group's interior
+// is a complete overlay runtime on one shared virtual clock, and the
+// harness plays the super layer — maintaining per-group super-aggregates
+// and accounting their pairwise exchange — exactly as mlhfc.Distribute
+// models it synchronously.
+func simulateMultilevel(spec SimSpec, seed int64) (*SimReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	// Tri-level optimum: groups ≈ clusters-per-group ≈ |C| ≈ n^⅓, so each
+	// level fans out evenly and the per-round flood volume stays near
+	// n·n^⅓. The workload carries that hierarchy in its geometry
+	// (superblobs of blobs), so the topology builder discovers balanced
+	// groups instead of carving a uniform centroid grid into one giant
+	// component plus slivers.
+	groups := spec.Groups
+	if groups == 0 {
+		groups = int(math.Round(math.Cbrt(float64(spec.N))))
+	}
+	if groups < 2 {
+		groups = 2
+	}
+	blobsPerGroup := int(math.Round(math.Pow(float64(spec.N), 2.0/3.0))) / groups
+	pts := simPointsHier(rng, spec.N, groups, blobsPerGroup)
+	cmap, err := coords.NewMap(pts)
+	if err != nil {
+		return nil, err
+	}
+	mlCfg := mlhfc.DefaultConfig()
+	mlCfg.Inner.Points = cmap.Points
+	mlCfg.Inner.MinClusterSize = 8
+	mlCfg.TargetGroups = groups
+	topo, err := mlhfc.Build(cmap, mlCfg)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: simulate mlhfc build: %w", err)
+	}
+	cat, err := svc.NewCatalog(12)
+	if err != nil {
+		return nil, err
+	}
+	caps, err := svc.RandomCapabilities(rng, spec.N, cat, 2, 5)
+	if err != nil {
+		return nil, err
+	}
+
+	k := topo.NumGroups()
+	sim := vtime.NewSim()
+	systems := make([]*System, k)
+	superCaps := make([]svc.CapabilitySet, k)
+	rep := &SimReport{N: spec.N, Groups: k}
+	for g := 0; g < k; g++ {
+		members := topo.Members(g)
+		localCaps := make([]svc.CapabilitySet, len(members))
+		for li, node := range members {
+			localCaps[li] = caps[node]
+		}
+		sys, err := New(topo.Interior(g), localCaps, Config{Clock: sim, DelayPerUnit: spec.DelayPerUnit})
+		if err != nil {
+			return nil, fmt.Errorf("overlay: simulate group %d: %w", g, err)
+		}
+		if err := sys.Start(); err != nil {
+			return nil, err
+		}
+		systems[g] = sys
+		superCaps[g] = svc.Union(localCaps...)
+		rep.Clusters += topo.Interior(g).NumClusters()
+	}
+	stopAll := func() {
+		for _, sys := range systems {
+			_ = sys.Stop()
+		}
+	}
+
+	tr := &simTrace{}
+	tr.f("sim seed=%d mode=multilevel n=%d groups=%d clusters=%d rounds=%d churn=%d crashes=%d probes=%d",
+		seed, spec.N, k, rep.Clusters, spec.Rounds, spec.Churn, spec.Crashes, spec.Probes)
+
+	// superExchange accounts one harness-level super round: each group
+	// ships its aggregate to every other group's super border, which
+	// re-floods it internally — counted exactly as mlhfc.Distribute does.
+	superExchange := func() {
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				if a != b {
+					rep.SuperMessages += 1 + len(topo.Members(b)) - 1
+				}
+			}
+		}
+	}
+
+	converge := func(label string, rounds int) {
+		for i := 0; i < rounds; i++ {
+			for _, sys := range systems {
+				sys.TriggerStateRound()
+			}
+			// One WaitIdle drains every group's cascade: they share the
+			// scheduler.
+			systems[0].Quiesce()
+			rep.Rounds++
+			superExchange()
+			tr.f("round %d (%s): t=%v", rep.Rounds, label, sim.Now())
+		}
+	}
+
+	// assembleStates aliases every group runtime's live node states into
+	// the mlhfc routing view — no clones; reads are baton-ordered with the
+	// runtimes because probes run on the scheduler between rounds.
+	assembleStates := func() *mlhfc.States {
+		st := &mlhfc.States{
+			PerGroup: make([][]state.NodeState, k),
+			Super:    make([]svc.CapabilitySet, k),
+		}
+		for g := 0; g < k; g++ {
+			st.PerGroup[g] = systems[g].simStates()
+			st.Super[g] = superCaps[g]
+		}
+		return st
+	}
+
+	probePhase := func(label string) error {
+		if spec.Probes == 0 {
+			return nil
+		}
+		cur := make([]svc.CapabilitySet, spec.N)
+		for g := 0; g < k; g++ {
+			groupCaps := systems[g].Capabilities()
+			for li, node := range topo.Members(g) {
+				cur[node] = groupCaps[li]
+			}
+		}
+		gen, err := svc.NewRequestGenerator(rng, cur, 2, 4)
+		if err != nil {
+			return err
+		}
+		states := assembleStates()
+		for i := 0; i < spec.Probes; i++ {
+			req, err := gen.Next()
+			if err != nil {
+				return err
+			}
+			res, err := mlhfc.Route(topo, states, req)
+			rep.Probes++
+			if err != nil {
+				rep.ProbeFailures++
+				tr.f("probe %s/%d: FAIL %v", label, i, err)
+				continue
+			}
+			run := maxRelayRun(res.Path)
+			if run > rep.MaxRelayRun {
+				rep.MaxRelayRun = run
+			}
+			if err := res.Path.Validate(req, cur); err != nil {
+				return fmt.Errorf("overlay: simulate ml probe %s/%d invalid path: %w", label, i, err)
+			}
+			tr.f("probe %s/%d: groups=%d hops=%d relayrun=%d", label, i, len(res.Children), len(res.Path.Hops), run)
+		}
+		return nil
+	}
+
+	var simErr error
+	sim.Run(func() {
+		converge("initial", spec.Rounds)
+		if simErr = probePhase("pre"); simErr != nil {
+			return
+		}
+		for i := 0; i < spec.Churn; i++ {
+			victim := rng.Intn(spec.N)
+			g, li := topo.GroupOf(victim), topo.ToLocal(victim)
+			fresh, err := svc.RandomCapabilities(rng, 1, cat, 2, 5)
+			if err != nil {
+				simErr = err
+				return
+			}
+			if err := systems[g].UpdateCapability(li, fresh[0]); err != nil {
+				simErr = err
+				return
+			}
+			superCaps[g] = svc.Union(systems[g].Capabilities()...)
+			tr.f("churn %d: node %d (group %d) -> %d services", i, victim, g, fresh[0].Len())
+		}
+		if spec.Churn > 0 {
+			converge("churn", spec.Rounds)
+		}
+		for i := 0; i < spec.Crashes; i++ {
+			victim := rng.Intn(spec.N)
+			g, li := topo.GroupOf(victim), topo.ToLocal(victim)
+			if err := systems[g].Crash(li); err != nil {
+				simErr = err
+				return
+			}
+			tr.f("crash %d: node %d (group %d)", i, victim, g)
+			converge("crashed", 1)
+			if err := systems[g].Recover(li); err != nil {
+				simErr = err
+				return
+			}
+			tr.f("recover %d: node %d", i, victim)
+		}
+		if spec.Crashes > 0 {
+			converge("recovered", spec.Rounds)
+		}
+		if simErr = probePhase("post"); simErr != nil {
+			return
+		}
+	})
+	if simErr != nil {
+		stopAll()
+		return nil, simErr
+	}
+
+	rep.Converged = true
+	var allStates []state.NodeState
+	for g := 0; g < k; g++ {
+		ok, err := systems[g].Converged()
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		if !ok {
+			rep.Converged = false
+		}
+		tf := systems[g].Traffic()
+		rep.Traffic.Local += tf.Local
+		rep.Traffic.Aggregate += tf.Aggregate
+		rep.Traffic.Route += tf.Route
+		rep.Traffic.Child += tf.Child
+		rep.Traffic.Data += tf.Data
+		fc := systems[g].FaultCounters()
+		rep.Faults.Dropped += fc.Dropped
+		rep.Faults.DroppedToCrashed += fc.DroppedToCrashed
+		rep.Faults.StaleRejected += fc.StaleRejected
+		rep.Faults.RPCRetries += fc.RPCRetries
+		// Digest over GLOBAL node ids so two different groupings of the
+		// same converged facts cannot collide.
+		for li, st := range systems[g].simStates() {
+			st.Node = topo.ToGlobal(g, li)
+			allStates = append(allStates, st)
+		}
+	}
+	stopAll()
+	rep.VirtualTime = sim.Now()
+	rep.StateDigest = digestStates(allStates)
+	tr.f("final: converged=%v relaymax=%d virtual=%v super=%d digest=%016x",
+		rep.Converged, rep.MaxRelayRun, rep.VirtualTime, rep.SuperMessages, rep.StateDigest)
+	rep.Trace = tr.b.String()
+	return rep, nil
+}
+
+// simStates returns aliases of every node's live protocol state — the
+// struct values share the underlying maps, so callers must treat them as
+// read-only. Simulation-mode only: the aliasing is safe exactly because
+// every runtime access is baton-ordered on the shared scheduler.
+func (s *System) simStates() []state.NodeState {
+	if s.sim == nil {
+		panic("overlay: simStates outside simulation mode")
+	}
+	out := make([]state.NodeState, len(s.nodes))
+	for i, n := range s.nodes {
+		//hfcvet:ignore guardedby sim mode is baton-ordered on one scheduler; no node runs while this reads
+		out[i] = n.state
+	}
+	return out
+}

@@ -18,9 +18,13 @@ func TestApplyLocalRejectsStaleFlood(t *testing.T) {
 	if !st.SCTP[3].Has("fresh") || st.SCTP[3].Has("stale") {
 		t.Errorf("SCTP[3] = %v after stale flood, want the round-5 entry", st.SCTP[3])
 	}
-	// Same-round re-delivery is idempotent and accepted.
-	if !st.ApplyLocal(3, 5, svc.NewCapabilitySet("fresh")) {
-		t.Error("same-round re-delivery rejected")
+	// A same-round arrival is a replay — only one authentic flood exists
+	// per (origin, round) — and must not reinstall.
+	if st.ApplyLocal(3, 5, svc.NewCapabilitySet("replayed")) {
+		t.Error("same-round replay accepted")
+	}
+	if st.SCTP[3].Has("replayed") {
+		t.Errorf("SCTP[3] = %v after same-round replay, want the original round-5 entry", st.SCTP[3])
 	}
 	// A newer round replaces.
 	if !st.ApplyLocal(3, 6, svc.NewCapabilitySet("newer")) {

@@ -43,15 +43,20 @@ type NodeState struct {
 }
 
 // ApplyLocal installs a local-state flood from origin stamped with protocol
-// round seq, unless a newer flood from the same origin was already
-// accepted. It reports whether the entry was applied; false means the
-// message was stale and rejected (the resurrection guard a recovered
-// node's re-flooded or delayed traffic must not bypass).
+// round seq, unless a flood from the same origin for this or a newer round
+// was already accepted. Exactly one authentic flood exists per (origin,
+// round) — an origin broadcasts once per round — so an equal-round arrival
+// is a replay and is rejected like any older one (duplicates of the
+// authentic flood are absorbed upstream by the capability-generation
+// check, which never calls down here). It reports whether the entry was
+// applied; false means the message was stale and rejected (the
+// resurrection guard a recovered node's re-flooded or delayed traffic
+// must not bypass).
 func (s *NodeState) ApplyLocal(origin int, seq uint64, set svc.CapabilitySet) bool {
 	if s.SeqP == nil {
 		s.SeqP = make(map[int]uint64)
 	}
-	if last, ok := s.SeqP[origin]; ok && seq < last {
+	if last, ok := s.SeqP[origin]; ok && seq <= last {
 		return false
 	}
 	s.SeqP[origin] = seq

@@ -1,0 +1,329 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sim is the discrete-event virtual clock: a monotonic time counter, a
+// priority queue of events ordered by (time, sequence), and a cooperative
+// task scheduler. One Run call drives everything on a single runner — the
+// scheduler loop and every task goroutine pass an implicit baton over
+// unbuffered channels, so exactly one of them executes at any moment and
+// every access to Sim state is ordered by a channel handoff (race-detector
+// clean with no locks). Virtual time advances only when no task is runnable:
+// jumping straight to the next event is what makes a simulated minute of
+// timeouts free.
+//
+// Determinism: with the same sequence of API calls, the event queue pops in
+// the same (time, seq) order, tasks resume in the same FIFO order, and
+// every callback runs at the same virtual instant — so a seeded simulation
+// produces byte-identical traces run after run.
+//
+// All Sim methods must be called with the baton held — that is, from inside
+// a task started by Run/Go or from an event callback. Calling them from a
+// foreign goroutine is a data race by construction.
+type Sim struct {
+	now  time.Duration
+	seq  uint64
+	evq  eventQueue
+	live int // events in evq not invalidated by Stop/Reset
+
+	ready readyQueue
+	idle  []*task // tasks parked in WaitIdle
+	tasks int     // tasks started and not yet finished
+	named int     // counter for auto-generated task names
+
+	cur     *task
+	yield   chan struct{} // task/loop -> loop baton return
+	running bool
+}
+
+// task is one cooperative goroutine managed by the Sim scheduler.
+type task struct {
+	name      string
+	wake      chan struct{} // loop -> task baton handoff
+	blockedOn string        // human-readable park reason for deadlock reports
+}
+
+// event is one scheduled callback.
+type event struct {
+	when time.Duration
+	seq  uint64
+	fn   func()
+	// timer links the event to its simTimer for lazy invalidation: the
+	// event is stale (already Stopped or Reset) when gen no longer matches
+	// the timer's current generation. Sleep wake-ups have a nil timer.
+	timer *simTimer
+	gen   uint64
+}
+
+// NewSim returns a virtual clock at time zero with an empty event queue.
+func NewSim() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now is the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Pending reports how many scheduled events are still live — useful for
+// tests asserting a quiesced scheduler.
+func (s *Sim) Pending() int { return s.live }
+
+// Tasks reports how many tasks are alive (running, ready, or parked).
+func (s *Sim) Tasks() int { return s.tasks }
+
+// Go starts fn as a new cooperative task. The task becomes runnable
+// immediately (FIFO after already-ready tasks) but does not run until the
+// current task parks or finishes. name appears in deadlock reports; empty
+// picks a generated one.
+func (s *Sim) Go(name string, fn func()) {
+	if name == "" {
+		s.named++
+		name = fmt.Sprintf("task-%d", s.named)
+	}
+	t := &task{name: name, wake: make(chan struct{})}
+	s.tasks++
+	go func() {
+		<-t.wake
+		fn()
+		s.tasks--
+		s.cur = nil
+		s.yield <- struct{}{}
+	}()
+	s.ready.push(t)
+}
+
+// Run starts fn as the first task and drives the event loop until every
+// task has finished. Leftover events (stopped timers, timers past the last
+// task's lifetime) are discarded. Run panics if no runnable task exists, no
+// event can wake one, and tasks are still alive — a deadlock in simulated
+// code, reported with every parked task's name and park reason.
+func (s *Sim) Run(fn func()) {
+	if s.running {
+		panic("vtime: nested Sim.Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.Go("main", fn)
+	for {
+		if t, ok := s.ready.pop(); ok {
+			s.cur = t
+			t.wake <- struct{}{}
+			<-s.yield
+			continue
+		}
+		if s.fireNext() {
+			continue
+		}
+		if len(s.idle) > 0 {
+			for _, t := range s.idle {
+				s.ready.push(t)
+			}
+			s.idle = s.idle[:0]
+			continue
+		}
+		if s.tasks == 0 {
+			s.evq = nil
+			s.live = 0
+			return
+		}
+		panic("vtime: deadlock — " + s.blockedReport())
+	}
+}
+
+// fireNext pops events until one live event fires (advancing virtual time
+// to its deadline and running its callback inline on the loop) or the queue
+// is exhausted. Stale events — invalidated by Timer.Stop or Reset — are
+// discarded without firing.
+func (s *Sim) fireNext() bool {
+	for len(s.evq) > 0 {
+		ev := heap.Pop(&s.evq).(*event)
+		if ev.timer != nil && (!ev.timer.armed || ev.timer.gen != ev.gen) {
+			continue // stale: live was already decremented at Stop/Reset
+		}
+		if ev.timer != nil {
+			ev.timer.armed = false
+		}
+		s.live--
+		if ev.when > s.now {
+			s.now = ev.when
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// blockedReport lists every parked task for the deadlock panic.
+func (s *Sim) blockedReport() string {
+	var names []string
+	for _, t := range s.idle {
+		names = append(names, t.name+" (waitidle)")
+	}
+	n := fmt.Sprintf("%d task(s) blocked with no pending event", s.tasks)
+	if len(names) > 0 {
+		sort.Strings(names)
+		n += ": " + strings.Join(names, ", ")
+	}
+	if s.cur != nil {
+		n += fmt.Sprintf("; current=%s (%s)", s.cur.name, s.cur.blockedOn)
+	}
+	return n
+}
+
+// park hands the baton back to the loop and blocks until the task is
+// rescheduled. The caller must have queued something (an event, a future
+// waiter registration) that will eventually push t back onto the ready
+// queue, or Run will report a deadlock.
+func (s *Sim) park(t *task) {
+	s.cur = nil
+	s.yield <- struct{}{}
+	<-t.wake
+	s.cur = t
+}
+
+// current returns the running task, panicking when called from outside one
+// (event callbacks run on the loop and must not block).
+func (s *Sim) current(op string) *task {
+	if s.cur == nil {
+		panic("vtime: " + op + " called outside a task (event callbacks must not block)")
+	}
+	return s.cur
+}
+
+// Sleep parks the current task until d of virtual time has elapsed.
+// Non-positive d still yields: the task re-queues behind every currently
+// scheduled same-instant event, giving cooperative round-robin.
+func (s *Sim) Sleep(d time.Duration) {
+	t := s.current("Sleep")
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(d, func() { s.ready.push(t) }, nil, 0)
+	t.blockedOn = fmt.Sprintf("sleep %v until %v", d, s.now+d)
+	s.park(t)
+	t.blockedOn = ""
+}
+
+// WaitIdle parks the current task until the scheduler has no runnable task
+// and no live event — every cascade of messages and timers has fully
+// drained. Multiple tasks may wait; they all wake together. Returns
+// immediately if the system is already idle.
+func (s *Sim) WaitIdle() {
+	t := s.current("WaitIdle")
+	if s.ready.len() == 0 && s.live == 0 {
+		return
+	}
+	t.blockedOn = "waitidle"
+	s.idle = append(s.idle, t)
+	s.park(t)
+	t.blockedOn = ""
+}
+
+// AfterFunc schedules fn to run at virtual time Now()+d on the event loop.
+// fn must not block (no Sleep, no Await); it may call Go to spawn a task
+// that does. The returned Timer follows time.Timer Stop/Reset semantics.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &simTimer{s: s, fn: fn}
+	t.arm(d)
+	return t
+}
+
+// schedule pushes one event.
+func (s *Sim) schedule(d time.Duration, fn func(), timer *simTimer, gen uint64) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.evq, &event{when: s.now + d, seq: s.seq, fn: fn, timer: timer, gen: gen})
+	s.live++
+}
+
+// simTimer is the virtual-clock Timer. Stop and Reset invalidate the
+// pending event lazily by bumping gen; the stale heap entry is skipped when
+// popped.
+type simTimer struct {
+	s     *Sim
+	fn    func()
+	armed bool
+	gen   uint64
+}
+
+func (t *simTimer) arm(d time.Duration) {
+	t.gen++
+	t.armed = true
+	t.s.schedule(d, func() { t.fn() }, t, t.gen)
+}
+
+// Stop cancels the pending callback, reporting whether it was still pending.
+func (t *simTimer) Stop() bool {
+	if !t.armed {
+		return false
+	}
+	t.armed = false
+	t.gen++
+	t.s.live--
+	return true
+}
+
+// Reset re-arms the timer for Now()+d, reporting whether it was pending.
+func (t *simTimer) Reset(d time.Duration) bool {
+	was := t.armed
+	if was {
+		t.s.live-- // the old event goes stale via the gen bump in arm
+	}
+	t.arm(d)
+	return was
+}
+
+// eventQueue is a min-heap ordered by (when, seq): earliest deadline first,
+// insertion order among same-instant events.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// readyQueue is a FIFO of runnable tasks with amortised O(1) pop (head
+// index plus periodic compaction).
+type readyQueue struct {
+	q    []*task
+	head int
+}
+
+func (r *readyQueue) push(t *task) { r.q = append(r.q, t) }
+
+func (r *readyQueue) pop() (*task, bool) {
+	if r.head >= len(r.q) {
+		return nil, false
+	}
+	t := r.q[r.head]
+	r.q[r.head] = nil
+	r.head++
+	if r.head > 64 && r.head*2 >= len(r.q) {
+		n := copy(r.q, r.q[r.head:])
+		r.q = r.q[:n]
+		r.head = 0
+	}
+	return t, true
+}
+
+func (r *readyQueue) len() int { return len(r.q) - r.head }

@@ -1,0 +1,263 @@
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimSleepAdvancesVirtualTime(t *testing.T) {
+	s := NewSim()
+	var marks []time.Duration
+	s.Run(func() {
+		marks = append(marks, s.Now())
+		s.Sleep(50 * time.Millisecond)
+		marks = append(marks, s.Now())
+		s.Sleep(2 * time.Hour) // virtual: costs nothing
+		marks = append(marks, s.Now())
+	})
+	want := []time.Duration{0, 50 * time.Millisecond, 2*time.Hour + 50*time.Millisecond}
+	for i, w := range want {
+		if marks[i] != w {
+			t.Fatalf("mark %d: got %v want %v", i, marks[i], w)
+		}
+	}
+}
+
+func TestSimAfterFuncOrdering(t *testing.T) {
+	s := NewSim()
+	var log []string
+	s.Run(func() {
+		// Same deadline: insertion order. Different deadlines: time order,
+		// regardless of insertion order.
+		s.AfterFunc(20*time.Millisecond, func() { log = append(log, "b1") })
+		s.AfterFunc(10*time.Millisecond, func() { log = append(log, "a") })
+		s.AfterFunc(20*time.Millisecond, func() { log = append(log, "b2") })
+		s.Sleep(30 * time.Millisecond)
+		log = append(log, "wake")
+	})
+	if got := strings.Join(log, ","); got != "a,b1,b2,wake" {
+		t.Fatalf("fire order %q", got)
+	}
+}
+
+func TestSimTimerStopReset(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.Run(func() {
+		tm := s.AfterFunc(10*time.Millisecond, func() { fired++ })
+		if !tm.Stop() {
+			t.Error("Stop of pending timer should report true")
+		}
+		if tm.Stop() {
+			t.Error("second Stop should report false")
+		}
+		if tm.Reset(5 * time.Millisecond) {
+			t.Error("Reset of stopped timer should report false")
+		}
+		if !tm.Reset(15 * time.Millisecond) {
+			t.Error("Reset of pending timer should report true")
+		}
+		s.Sleep(20 * time.Millisecond)
+		if fired != 1 {
+			t.Errorf("timer fired %d times, want exactly 1 (resets must supersede)", fired)
+		}
+		if tm.Stop() {
+			t.Error("Stop after firing should report false")
+		}
+	})
+}
+
+func TestSimTasksInterleaveDeterministically(t *testing.T) {
+	s := NewSim()
+	var log []string
+	s.Run(func() {
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Go(fmt.Sprintf("worker-%d", i), func() {
+				for step := 0; step < 2; step++ {
+					log = append(log, fmt.Sprintf("w%d.%d@%v", i, step, s.Now()))
+					s.Sleep(time.Duration(i+1) * time.Millisecond)
+				}
+			})
+		}
+		s.WaitIdle()
+		log = append(log, "idle@"+s.Now().String())
+	})
+	want := "w0.0@0s,w1.0@0s,w2.0@0s,w0.1@1ms,w1.1@2ms,w2.1@3ms,idle@6ms"
+	if got := strings.Join(log, ","); got != want {
+		t.Fatalf("interleaving\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSimWaitIdleWaitsForTimerCascades(t *testing.T) {
+	s := NewSim()
+	depth := 0
+	s.Run(func() {
+		var chain func()
+		chain = func() {
+			depth++
+			if depth < 5 {
+				s.AfterFunc(time.Millisecond, chain)
+			}
+		}
+		s.AfterFunc(time.Millisecond, chain)
+		s.WaitIdle()
+		if depth != 5 {
+			t.Errorf("WaitIdle returned at depth %d, want 5", depth)
+		}
+		if s.Pending() != 0 {
+			t.Errorf("%d live events after idle", s.Pending())
+		}
+	})
+}
+
+func TestFutureCompleteAndTimeout(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		// Completion before the deadline.
+		f := NewFuture[int](s)
+		s.AfterFunc(5*time.Millisecond, func() { f.Complete(42) })
+		if v, ok := f.AwaitTimeout(time.Second); !ok || v != 42 {
+			t.Errorf("await = (%d,%v), want (42,true)", v, ok)
+		}
+		if s.Now() != 5*time.Millisecond {
+			t.Errorf("await woke at %v, want 5ms", s.Now())
+		}
+
+		// Deadline passes first.
+		g := NewFuture[int](s)
+		s.AfterFunc(time.Second, func() { g.Complete(7) })
+		if v, ok := g.AwaitTimeout(10 * time.Millisecond); ok {
+			t.Errorf("await = (%d,true), want timeout", v)
+		}
+		if s.Now() != 15*time.Millisecond {
+			t.Errorf("timeout woke at %v, want 15ms", s.Now())
+		}
+
+		// Already-completed future returns immediately; duplicate Complete loses.
+		h := NewFuture[string](s)
+		if !h.Complete("first") {
+			t.Error("first Complete should win")
+		}
+		if h.Complete("second") {
+			t.Error("second Complete should report false")
+		}
+		if v, ok := h.AwaitTimeout(0); !ok || v != "first" {
+			t.Errorf("await done future = (%q,%v)", v, ok)
+		}
+	})
+}
+
+func TestSimPanicsOutsideTask(t *testing.T) {
+	s := NewSim()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s outside a task did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Sleep", func() { s.Sleep(time.Millisecond) })
+	mustPanic("WaitIdle", func() { s.WaitIdle() })
+	s.Run(func() {
+		s.AfterFunc(time.Millisecond, func() {
+			mustPanic("Sleep-in-callback", func() { s.Sleep(time.Millisecond) })
+		})
+		s.Sleep(2 * time.Millisecond)
+	})
+}
+
+func TestSimNestedRunPanics(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested Run did not panic")
+			}
+		}()
+		s.Run(func() {})
+	})
+}
+
+// TestSimTraceDeterminism200Seeds runs a randomized workload — tasks,
+// sleeps, timers, stops/resets, futures — twice per seed on fresh Sims and
+// requires byte-identical event traces: same seed, same trace, always.
+func TestSimTraceDeterminism200Seeds(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a := runTraceScenario(seed)
+		b := runTraceScenario(seed)
+		if a != b {
+			t.Fatalf("seed %d: traces differ\n--- run1 ---\n%s\n--- run2 ---\n%s", seed, a, b)
+		}
+	}
+}
+
+// runTraceScenario builds a deterministic-but-messy workload from seed and
+// returns its trace.
+func runTraceScenario(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSim()
+	var trace strings.Builder
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(&trace, "%v: ", s.Now())
+		fmt.Fprintf(&trace, format, args...)
+		trace.WriteByte('\n')
+	}
+	s.Run(func() {
+		var timers []Timer
+		nTasks := 2 + rng.Intn(4)
+		for i := 0; i < nTasks; i++ {
+			i := i
+			steps := 1 + rng.Intn(4)
+			period := time.Duration(1+rng.Intn(20)) * time.Millisecond
+			s.Go(fmt.Sprintf("t%d", i), func() {
+				for j := 0; j < steps; j++ {
+					logf("task %d step %d", i, j)
+					s.Sleep(period)
+				}
+			})
+		}
+		for i := 0; i < 5+rng.Intn(10); i++ {
+			i := i
+			d := time.Duration(rng.Intn(40)) * time.Millisecond
+			timers = append(timers, s.AfterFunc(d, func() { logf("timer %d", i) }))
+		}
+		f := NewFuture[int](s)
+		s.AfterFunc(time.Duration(rng.Intn(30))*time.Millisecond, func() { f.Complete(1) })
+		s.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+		for i, tm := range timers {
+			if rng.Intn(2) == 0 {
+				logf("stop %d -> %v", i, tm.Stop())
+			} else if rng.Intn(2) == 0 {
+				logf("reset %d -> %v", i, tm.Reset(time.Duration(rng.Intn(20))*time.Millisecond))
+			}
+		}
+		_, ok := f.AwaitTimeout(time.Duration(5+rng.Intn(40)) * time.Millisecond)
+		logf("future ok=%v", ok)
+		s.WaitIdle()
+		logf("idle")
+	})
+	return trace.String()
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	t0 := c.Now()
+	done := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire should report false")
+	}
+	if c.Now() < t0 {
+		t.Error("real clock went backwards")
+	}
+}
