@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"hfc/internal/cluster"
 	"hfc/internal/coords"
@@ -94,6 +95,19 @@ type Framework struct {
 	// engine, when non-nil (Config.ServeEngine), serves every route: it
 	// owns its own state copy, cache, and provider indexes.
 	engine *serve.Engine
+	// routers caches one hierarchical router per destination proxy for the
+	// engine-less path. Bootstrap's states and views are immutable, and
+	// HierarchicalRouter is read-only during Route, so a router built once
+	// serves every later request to the same destination — the per-request
+	// O(K² + |C|) view copy and solver construction disappear from the hot
+	// path. Slots fill lazily; concurrent first requests may build twice and
+	// either result wins the store (both are identical).
+	routers []atomic.Pointer[routing.HierarchicalRouter]
+	// indexes and solver are shared by every cached router: one lazy
+	// inverted-provider-index cache (version pinned at 0 — static states)
+	// and one intra-cluster solver reading it.
+	indexes *routing.LazyIndexes
+	solver  *routing.LocalIntraSolver
 }
 
 // Bootstrap builds the framework. m is the measurement substrate (the
@@ -156,6 +170,11 @@ func Bootstrap(rng *rand.Rand, m coords.Measurer, landmarks, proxies []int, caps
 		landmarks: lmPoints,
 		cache:     cache,
 	}
+	fw.routers = make([]atomic.Pointer[routing.HierarchicalRouter], topo.N())
+	fw.indexes = routing.NewLazyIndexes(states, func(node int) []int {
+		return topo.Members(topo.ClusterOf(node))
+	}, nil)
+	fw.solver = &routing.LocalIntraSolver{Topo: topo, States: states, Indexes: fw.indexes}
 	if cfg.ServeEngine {
 		eng, err := serve.NewEngine(topo, capsCopy, states, serve.Config{
 			CacheShards: cfg.CacheShards,
@@ -201,7 +220,7 @@ func (f *Framework) RouteDetailed(req svc.Request) (*routing.Result, error) {
 		}
 		version = f.cache.Version()
 	}
-	r, err := routing.NewHierarchicalRouter(f.topo, f.states, req.Dest, f.relax)
+	r, err := f.routerFor(req.Dest)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +229,28 @@ func (f *Framework) RouteDetailed(req svc.Request) (*routing.Result, error) {
 		f.cache.Put(key, canonical, res, nil, version)
 	}
 	return res, err
+}
+
+// routerFor returns the cached router for a destination proxy, building it
+// on first use. req.Validate has already bounds-checked dest.
+func (f *Framework) routerFor(dest int) (*routing.HierarchicalRouter, error) {
+	if r := f.routers[dest].Load(); r != nil {
+		return r, nil
+	}
+	view, err := f.topo.View(dest)
+	if err != nil {
+		return nil, err
+	}
+	r := &routing.HierarchicalRouter{
+		View:            view,
+		State:           &f.states[dest],
+		Intra:           f.solver,
+		ClusterOfSource: f.topo.ClusterOf,
+		Mode:            f.relax,
+		Index:           f.indexes.For(dest),
+	}
+	f.routers[dest].Store(r)
+	return r, nil
 }
 
 // RouteCacheStats snapshots the route cache's counters; ok is false when

@@ -29,6 +29,9 @@ func TestRunServe(t *testing.T) {
 		if r.HitRate <= 0.3 {
 			t.Errorf("workers %d: hit rate %v, want > 0.3", r.Workers, r.HitRate)
 		}
+		if r.BatchOpsPerSec <= 0 {
+			t.Errorf("workers %d: non-positive batch throughput %v", r.Workers, r.BatchOpsPerSec)
+		}
 	}
 	if rows[0].Speedup != 1 {
 		t.Errorf("first row speedup = %v, want 1", rows[0].Speedup)

@@ -1,10 +1,10 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"hfc/internal/par"
 )
@@ -45,18 +45,59 @@ type pqItem struct {
 	dist float64
 }
 
+// priorityQueue is a concrete binary min-heap of pqItems — the same sift
+// rules as container/heap (including which child wins on equal keys), but
+// monomorphic: no interface{} boxing, no allocation per push. Keeping the
+// comparison and swap order identical to container/heap preserves the
+// exact pop sequence for equal-distance entries, so Dijkstra's Parent
+// tie-breaks are unchanged from the old boxed implementation.
 type priorityQueue []pqItem
 
-func (q priorityQueue) Len() int            { return len(q) }
-func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *priorityQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q *priorityQueue) push(it pqItem) {
+	*q = append(*q, it)
+	q.up(len(*q) - 1)
+}
+
+func (q *priorityQueue) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	q.down(0, n)
+	it := h[n]
+	*q = h[:n]
 	return it
+}
+
+func (q *priorityQueue) up(j int) {
+	h := *q
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *priorityQueue) down(i0, n int) {
+	h := *q
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // Dijkstra computes shortest paths from source to every vertex using a
@@ -74,8 +115,8 @@ func (g *Graph) Dijkstra(source int) (*PathResult, error) {
 	}
 	dist[source] = 0
 	pq := &priorityQueue{{v: source, dist: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pqItem)
+	for len(*pq) > 0 {
+		it := pq.pop()
 		if done[it.v] {
 			continue
 		}
@@ -84,7 +125,7 @@ func (g *Graph) Dijkstra(source int) (*PathResult, error) {
 			if nd := it.dist + e.w; nd < dist[e.to] {
 				dist[e.to] = nd
 				parent[e.to] = it.v
-				heap.Push(pq, pqItem{v: e.to, dist: nd})
+				pq.push(pqItem{v: e.to, dist: nd})
 			}
 		}
 	}
@@ -106,17 +147,30 @@ func (g *Graph) AllPairsShortestPaths() (*APSP, error) {
 
 // AllPairsShortestPathsWorkers is AllPairsShortestPaths with the
 // per-source Dijkstra runs fanned out across a bounded worker pool.
-// Each source's run only reads the (immutable) adjacency lists and writes
-// its own distance row, so the matrix is bit-identical to the serial loop
-// for any worker count.
+// Each source's run only reads the (immutable) CSR arrays and writes its
+// own distance row, so the matrix is bit-identical to the serial loop for
+// any worker count. The runs go through the radix-heap CSR Dijkstra —
+// distances are bit-identical to the pointer-graph implementation (see
+// DijkstraInto) and only distance rows are kept, so the output matches
+// the old per-source (*Graph).Dijkstra loop exactly while the per-source
+// cost drops (one flat adjacency scan, pooled scratch, no boxing).
 func (g *Graph) AllPairsShortestPathsWorkers(workers int) (*APSP, error) {
+	c, err := NewCSR(g)
+	if err != nil {
+		return nil, fmt.Errorf("graph: apsp: %w", err)
+	}
+	var pool sync.Pool // of *CSRScratch, one per active worker
 	dist := make([][]float64, g.n)
 	if err := par.ForErr(g.n, workers, func(s int) error {
-		r, err := g.Dijkstra(s)
-		if err != nil {
+		sc, _ := pool.Get().(*CSRScratch)
+		if sc == nil {
+			sc = NewCSRScratch()
+		}
+		if err := c.DijkstraInto(s, sc); err != nil {
 			return fmt.Errorf("graph: apsp from %d: %w", s, err)
 		}
-		dist[s] = r.Dist
+		dist[s] = append([]float64(nil), sc.Dist()...)
+		pool.Put(sc)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -2,7 +2,9 @@ package hfc
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"hfc/internal/coords"
 )
@@ -48,6 +50,128 @@ type NodeView struct {
 	// accompanies a promoted border's announcement. Dist consults it only
 	// after Coords misses.
 	ResolveCoord func(node int) (coords.Point, bool)
+
+	// dense caches the SoA mirror of the view's border and coordinate
+	// tables (see Dense). Built lazily from the static fields, which must
+	// not be mutated after the first Dense call.
+	dense atomic.Pointer[DenseTables]
+}
+
+// DenseTables is the struct-of-arrays mirror of a view's border and
+// coordinate maps, built once per view so hot routing paths replace
+// per-lookup map hashing with array indexing. The tables cover only the
+// static primary pairs and static coordinates; dynamic concerns (Alive,
+// BorderOverride, promoted borders via ResolveCoord) stay with the view's
+// map-based methods, which callers fall back to per lookup.
+type DenseTables struct {
+	// K is the cluster count the square tables are sized for.
+	K int
+	// BorderInA[a*K+b] is the primary border proxy of cluster a toward
+	// cluster b, or -1 when a == b or the view has no pair for (a, b).
+	BorderInA []int32
+	// Ext[a*K+b] is the embedded length of the primary external link
+	// between clusters a and b, or NaN when unknown.
+	Ext []float64
+	// Pts[id] is node id's coordinate, nil when the view does not hold
+	// it. Indexed by node id; covers cluster members and every primary
+	// and backup border proxy whose coordinate the view can resolve.
+	Pts []coords.Point
+}
+
+// Dense returns the view's SoA tables, building them on first use. The
+// build is idempotent; concurrent first calls may build twice and either
+// result wins the store. The returned tables are shared and read-only.
+func (v *NodeView) Dense() *DenseTables {
+	if t := v.dense.Load(); t != nil {
+		return t
+	}
+	t := v.buildDense()
+	v.dense.Store(t)
+	return t
+}
+
+// buildDense materializes the dense mirror from the view's maps. Border
+// pairs are walked by cluster-pair key (not map iteration) so the build
+// is deterministic.
+func (v *NodeView) buildDense() *DenseTables {
+	k := v.NumClusters
+	if k < 0 {
+		k = 0
+	}
+	t := &DenseTables{
+		K:         k,
+		BorderInA: make([]int32, k*k),
+		Ext:       make([]float64, k*k),
+	}
+	for i := range t.BorderInA {
+		t.BorderInA[i] = -1
+		t.Ext[i] = math.NaN()
+	}
+	// Gather every node id whose coordinate a routing pass may ask for:
+	// own-cluster members (the tail hop ends at v.Node) plus all ranked
+	// border proxies.
+	maxID := v.Node
+	note := func(id int) {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for _, m := range v.Members {
+		note(m)
+	}
+	for lo := 0; lo < k; lo++ {
+		for hi := lo + 1; hi < k; hi++ {
+			key := [2]int{lo, hi}
+			pair, ok := v.Borders[key]
+			if !ok {
+				continue
+			}
+			note(pair.Low)
+			note(pair.High)
+			if pair.Low >= 0 && pair.High >= 0 {
+				t.BorderInA[lo*k+hi] = int32(pair.Low)
+				t.BorderInA[hi*k+lo] = int32(pair.High)
+			}
+			for _, bp := range v.BackupBorders[key] {
+				note(bp.Low)
+				note(bp.High)
+			}
+		}
+	}
+	t.Pts = make([]coords.Point, maxID+1)
+	fill := func(id int) {
+		if id < 0 || id >= len(t.Pts) || t.Pts[id] != nil {
+			return
+		}
+		if p, err := v.coordOf(id); err == nil {
+			t.Pts[id] = p
+		}
+	}
+	fill(v.Node)
+	for _, m := range v.Members {
+		fill(m)
+	}
+	for lo := 0; lo < k; lo++ {
+		for hi := lo + 1; hi < k; hi++ {
+			key := [2]int{lo, hi}
+			pair, ok := v.Borders[key]
+			if !ok {
+				continue
+			}
+			fill(pair.Low)
+			fill(pair.High)
+			for _, bp := range v.BackupBorders[key] {
+				fill(bp.Low)
+				fill(bp.High)
+			}
+			if pl, ph := t.Pts[pair.Low], t.Pts[pair.High]; pl != nil && ph != nil {
+				d := coords.Dist(pl, ph)
+				t.Ext[lo*k+hi] = d
+				t.Ext[hi*k+lo] = d
+			}
+		}
+	}
+	return t
 }
 
 // View materializes the Fig. 4 information for one node.

@@ -1,0 +1,379 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"hfc/internal/coords"
+	"hfc/internal/hfc"
+	"hfc/internal/svc"
+)
+
+// This file is the flat (struct-of-arrays) implementation of the §5.1
+// cluster-level search for the greedy relaxation modes. It produces
+// results identical to the map-based clusterLevelPathGeneric — same
+// candidate iteration order, same strict-< improvements, same
+// floating-point evaluation order — but keeps its labels in pooled dense
+// arrays indexed (SG vertex)*K + cluster and reads border pairs and
+// coordinates from the view's DenseTables instead of hashing map keys per
+// lookup. RelaxExact keeps the generic path (its (vertex, cluster, entry)
+// state space does not flatten to a K-wide table), which doubles as the
+// reference implementation the equivalence tests compare against.
+
+// cspScratch is the reusable arena of one flat cluster-level search.
+type cspScratch struct {
+	cands   [][]int // candidate clusters per SG vertex (shared or candBuf-backed)
+	candBuf []int   // backing storage for admissibility-filtered lists
+
+	indeg, outdeg  []int32
+	queue, order   []int32
+	sources, sinks []int32
+	headOff        []int32 // SG edges grouped by tail, CSR-packed
+	heads          []int32
+
+	// Flat label tables over (SG vertex, cluster) slots: slot = v*K + c.
+	// dist +Inf marks "no label"; entry is the border proxy the path
+	// entered the cluster through (-1 when inside since the source);
+	// parV/parC identify the predecessor label (-1 for virtual source).
+	dist       []float64
+	entry      []int32
+	parV, parC []int32
+}
+
+var cspPool = sync.Pool{New: func() any { return new(cspScratch) }}
+
+// crossingFlat resolves the oriented border pair and external link length
+// between distinct clusters a and b, preferring the dense tables: when no
+// override is installed, the primary pair is known, and both endpoints
+// pass the failure detector (if any), the precomputed pair and length
+// apply; otherwise it falls back to the view's ranked map-based lookup —
+// exactly what the generic path computes via View.Border + View.Dist.
+func (r *HierarchicalRouter) crossingFlat(dt *hfc.DenseTables, a, b int) (inA, inB int, ext float64, err error) {
+	v := r.View
+	if v.BorderOverride == nil {
+		ia := dt.BorderInA[a*dt.K+b]
+		if ia >= 0 {
+			ib := dt.BorderInA[b*dt.K+a]
+			if v.Alive == nil || (v.Alive(int(ia)) && v.Alive(int(ib))) {
+				if e := dt.Ext[a*dt.K+b]; !math.IsNaN(e) {
+					return int(ia), int(ib), e, nil
+				}
+				d, err := v.Dist(int(ia), int(ib))
+				return int(ia), int(ib), d, err
+			}
+		}
+	}
+	inA, inB, err = v.Border(a, b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ext, err = r.distFlat(dt, inA, inB)
+	return inA, inB, ext, err
+}
+
+// distFlat is View.Dist through the dense coordinate table, falling back
+// to the view's map lookup for ids the table does not cover (promoted
+// borders served via ResolveCoord). coords.Dist on the same points gives
+// bit-identical results to the map path.
+func (r *HierarchicalRouter) distFlat(dt *hfc.DenseTables, u, w int) (float64, error) {
+	if u >= 0 && u < len(dt.Pts) && w >= 0 && w < len(dt.Pts) {
+		pu, pw := dt.Pts[u], dt.Pts[w]
+		if pu != nil && pw != nil {
+			return coords.Dist(pu, pw), nil
+		}
+	}
+	return r.View.Dist(u, w)
+}
+
+// internalFlat mirrors the generic internalDist: the entry-border→exit
+// distance inside a cluster, 0 when the entry is unknown, they coincide,
+// or the mode ignores internal distances.
+func (r *HierarchicalRouter) internalFlat(dt *hfc.DenseTables, externalOnly bool, entry int32, exit int) (float64, error) {
+	if entry == -1 || int(entry) == exit || externalOnly {
+		return 0, nil
+	}
+	return r.distFlat(dt, int(entry), exit)
+}
+
+// clusterLevelPathFlat runs the greedy-mode cluster-level search on flat
+// label arrays. handled reports whether the flat path applied; when false
+// (cluster ids outside the dense tables) the caller runs the generic
+// search instead. Steady state allocates only the returned CSP.
+//
+//hfc:hotpath budget=2
+func (r *HierarchicalRouter) clusterLevelPathFlat(req svc.Request, srcCluster, destCluster int) (csp []CSPEntry, cost float64, handled bool, err error) {
+	dt := r.View.Dense()
+	k := dt.K
+	if k <= 0 || srcCluster < 0 || srcCluster >= k || destCluster < 0 || destCluster >= k {
+		return nil, 0, false, nil
+	}
+	externalOnly := r.mode() == RelaxExternalOnly
+	sg := req.SG
+	nv := sg.Len()
+
+	sc := cspPool.Get().(*cspScratch)
+	defer cspPool.Put(sc)
+
+	// Candidate clusters per SG vertex, from SCT_C (optionally narrowed
+	// by the QoS admissibility hook), matching the generic path's order.
+	sc.cands = grow(sc.cands, nv)
+	sc.candBuf = sc.candBuf[:0]
+	filtered := 0 // vertices whose lists live in candBuf, by position
+	for v := 0; v < nv; v++ {
+		var all []int
+		if r.Index != nil {
+			all = r.Index.ClustersProviding(sg.Services[v])
+		} else {
+			all = r.State.ClustersProviding(sg.Services[v])
+		}
+		if r.ClusterAdmissible != nil {
+			start := len(sc.candBuf)
+			for _, c := range all {
+				if r.ClusterAdmissible(sg.Services[v], c) {
+					//hfcvet:ignore hotalloc candBuf retains capacity across pooled runs; steady-state append never grows
+					sc.candBuf = append(sc.candBuf, c)
+				}
+			}
+			sc.cands[v] = sc.candBuf[start:len(sc.candBuf):len(sc.candBuf)]
+			filtered++
+		} else {
+			sc.cands[v] = all
+		}
+		if len(sc.cands[v]) == 0 {
+			//hfcvet:ignore hotalloc cold no-provider error path
+			return nil, 0, false, fmt.Errorf("routing: service %q: %w", sg.Services[v], ErrNoProviders)
+		}
+		for _, c := range sc.cands[v] {
+			if c < 0 || c >= k {
+				return nil, 0, false, nil // outside the dense tables: let the generic path judge
+			}
+		}
+	}
+	// candBuf may have been re-sliced by appends after earlier vertices
+	// captured windows into it; rebuild windows when any growth happened.
+	if filtered > 0 {
+		off := 0
+		for v := 0; v < nv; v++ {
+			if r.ClusterAdmissible == nil {
+				continue
+			}
+			n := len(sc.cands[v])
+			sc.cands[v] = sc.candBuf[off : off+n : off+n]
+			off += n
+		}
+	}
+
+	// SG degrees, CSR-packed edges by tail, sources/sinks, Kahn order —
+	// ascending-vertex everywhere, matching svc.Graph.Sources/Sinks and
+	// sgTopoOrder.
+	sc.indeg = grow(sc.indeg, nv)
+	sc.outdeg = grow(sc.outdeg, nv)
+	sc.headOff = grow(sc.headOff, nv+1)
+	sc.heads = grow(sc.heads, len(sg.Edges))
+	for v := 0; v < nv; v++ {
+		sc.indeg[v] = 0
+		sc.outdeg[v] = 0
+	}
+	for _, e := range sg.Edges {
+		sc.outdeg[e[0]]++
+		sc.indeg[e[1]]++
+	}
+	// CSR-pack edges by tail: store end offsets, count each bucket down
+	// while filling, then reverse each bucket so heads keep sg.Edges
+	// order per tail (the countdown fills back-to-front).
+	off := int32(0)
+	for v := 0; v < nv; v++ {
+		off += sc.outdeg[v]
+		sc.headOff[v] = off
+	}
+	sc.headOff[nv] = off
+	for _, e := range sg.Edges {
+		sc.headOff[e[0]]--
+		sc.heads[sc.headOff[e[0]]] = int32(e[1])
+	}
+	for v := 0; v < nv; v++ {
+		for i, j := sc.headOff[v], sc.headOff[v+1]-1; i < j; i, j = i+1, j-1 {
+			sc.heads[i], sc.heads[j] = sc.heads[j], sc.heads[i]
+		}
+	}
+
+	sc.sources = sc.sources[:0]
+	sc.sinks = sc.sinks[:0]
+	sc.queue = sc.queue[:0]
+	for v := 0; v < nv; v++ {
+		if sc.indeg[v] == 0 {
+			//hfcvet:ignore hotalloc sources/queue retain capacity across pooled runs
+			sc.sources = append(sc.sources, int32(v))
+			//hfcvet:ignore hotalloc sources/queue retain capacity across pooled runs
+			sc.queue = append(sc.queue, int32(v))
+		}
+		if sc.outdeg[v] == 0 {
+			//hfcvet:ignore hotalloc sinks retains capacity across pooled runs
+			sc.sinks = append(sc.sinks, int32(v))
+		}
+	}
+	sc.order = sc.order[:0]
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		//hfcvet:ignore hotalloc order retains capacity across pooled runs
+		sc.order = append(sc.order, u)
+		for i := sc.headOff[u]; i < sc.headOff[u+1]; i++ {
+			v := sc.heads[i]
+			sc.indeg[v]--
+			if sc.indeg[v] == 0 {
+				//hfcvet:ignore hotalloc queue retains capacity across pooled runs
+				sc.queue = append(sc.queue, v)
+			}
+		}
+	}
+	if len(sc.order) != nv {
+		return nil, 0, false, errors.New("routing: service graph contains a cycle")
+	}
+
+	// Flat label tables.
+	n := nv * k
+	sc.dist = grow(sc.dist, n)
+	sc.entry = grow(sc.entry, n)
+	sc.parV = grow(sc.parV, n)
+	sc.parC = grow(sc.parC, n)
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		sc.dist[i] = inf
+	}
+
+	// Initialize SG source vertices.
+	for _, v := range sc.sources {
+		for _, c := range sc.cands[v] {
+			var d float64
+			var entry int32 = -1
+			if c != srcCluster {
+				if r.CrossingAdmissible != nil && !r.CrossingAdmissible(srcCluster, c) {
+					continue
+				}
+				_, inC, ext, err := r.crossingFlat(dt, srcCluster, c)
+				if err != nil {
+					return nil, 0, false, err
+				}
+				d = ext
+				entry = int32(inC)
+			}
+			slot := int(v)*k + c
+			if d < sc.dist[slot] {
+				sc.dist[slot] = d
+				sc.entry[slot] = entry
+				sc.parV[slot] = -1
+				sc.parC[slot] = -1
+			}
+		}
+	}
+
+	// Relax SG edges in topological order.
+	for _, u := range sc.order {
+		for _, c := range sc.cands[u] {
+			uSlot := int(u)*k + c
+			ud := sc.dist[uSlot]
+			if math.IsInf(ud, 1) {
+				continue
+			}
+			ue := sc.entry[uSlot]
+			for i := sc.headOff[u]; i < sc.headOff[u+1]; i++ {
+				v := sc.heads[i]
+				for _, c2 := range sc.cands[v] {
+					var nd float64
+					var ne int32
+					if c2 == c {
+						nd = ud
+						ne = ue
+					} else {
+						if r.CrossingAdmissible != nil && !r.CrossingAdmissible(c, c2) {
+							continue
+						}
+						exitB, inC2, ext, err := r.crossingFlat(dt, c, c2)
+						if err != nil {
+							return nil, 0, false, err
+						}
+						internal, err := r.internalFlat(dt, externalOnly, ue, exitB)
+						if err != nil {
+							return nil, 0, false, err
+						}
+						nd = ud + internal + ext
+						ne = int32(inC2)
+					}
+					slot := int(v)*k + c2
+					if nd < sc.dist[slot] {
+						sc.dist[slot] = nd
+						sc.entry[slot] = ne
+						sc.parV[slot] = u
+						sc.parC[slot] = int32(c)
+					}
+				}
+			}
+		}
+	}
+
+	// Terminate at the destination proxy.
+	best := inf
+	bestV, bestC := -1, -1
+	for _, v := range sc.sinks {
+		for _, c := range sc.cands[v] {
+			slot := int(v)*k + c
+			total := sc.dist[slot]
+			if math.IsInf(total, 1) {
+				continue
+			}
+			entry := sc.entry[slot]
+			if c == destCluster {
+				tail, err := r.internalFlat(dt, externalOnly, entry, r.View.Node)
+				if err != nil {
+					return nil, 0, false, err
+				}
+				total += tail
+			} else {
+				if r.CrossingAdmissible != nil && !r.CrossingAdmissible(c, destCluster) {
+					continue
+				}
+				exitB, inDest, ext, err := r.crossingFlat(dt, c, destCluster)
+				if err != nil {
+					return nil, 0, false, err
+				}
+				internal, err := r.internalFlat(dt, externalOnly, entry, exitB)
+				if err != nil {
+					return nil, 0, false, err
+				}
+				tail := 0.0
+				if !externalOnly && inDest != r.View.Node {
+					tail, err = r.distFlat(dt, inDest, r.View.Node)
+					if err != nil {
+						return nil, 0, false, err
+					}
+				}
+				total += internal + ext + tail
+			}
+			if total < best {
+				best = total
+				bestV, bestC = int(v), c
+			}
+		}
+	}
+	if bestV == -1 {
+		return nil, 0, false, ErrInfeasible
+	}
+
+	// Reconstruct the CSP: measure the chain, then fill back-to-front.
+	depth := 0
+	for v, c := bestV, bestC; v != -1; {
+		depth++
+		slot := v*k + c
+		v, c = int(sc.parV[slot]), int(sc.parC[slot])
+	}
+	csp = make([]CSPEntry, depth)
+	for v, c, i := bestV, bestC, depth-1; v != -1; i-- {
+		//hfcvet:ignore hotalloc value assignment into the preallocated result slice
+		csp[i] = CSPEntry{SGVertex: v, Cluster: c}
+		slot := v*k + c
+		v, c = int(sc.parV[slot]), int(sc.parC[slot])
+	}
+	return csp, best, true, nil
+}

@@ -1,0 +1,159 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hfc/internal/hfc"
+	"hfc/internal/svc"
+)
+
+// TestClusterLevelPathFlatMatchesGeneric is the flat/generic equivalence
+// property: across random overlays, modes, provider indexes, QoS
+// admissibility hooks, failure detectors, and border overrides, the SoA
+// implementation returns exactly the generic map-based search's CSP,
+// bit-identical cost, and identical errors.
+func TestClusterLevelPathFlatMatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		topo, caps, states := randomOverlay(t, rng, 3+int(seed%3), 6, 10)
+		gen, err := svc.NewRequestGenerator(rng, caps, 2, 5)
+		if err != nil {
+			t.Fatalf("seed %d: NewRequestGenerator: %v", seed, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			req, err := gen.Next()
+			if err != nil {
+				t.Fatalf("seed %d: Next: %v", seed, err)
+			}
+			view, err := topo.View(req.Dest)
+			if err != nil {
+				t.Fatalf("seed %d: View(%d): %v", seed, req.Dest, err)
+			}
+			mode := RelaxBacktrack
+			if trial%3 == 2 {
+				mode = RelaxExternalOnly
+			}
+			r := &HierarchicalRouter{
+				View:            view,
+				State:           &states[req.Dest],
+				ClusterOfSource: topo.ClusterOf,
+				Mode:            mode,
+			}
+			if trial%2 == 1 {
+				r.Index = BuildProviderIndex(&states[req.Dest], topo.Members(topo.ClusterOf(req.Dest)))
+			}
+			switch trial % 5 {
+			case 1:
+				// Failure detector that kills some border proxies: the
+				// flat fast path must duck to the ranked fallback.
+				view.Alive = func(n int) bool { return n%4 != 1 }
+			case 2:
+				r.ClusterAdmissible = func(s svc.Service, c int) bool {
+					return (len(s)+c)%5 != 0
+				}
+			case 3:
+				r.CrossingAdmissible = func(a, b int) bool { return (a+b)%7 != 3 }
+			case 4:
+				// Override re-routing half the pairs through their first
+				// backup, when one exists.
+				bb := view.BackupBorders
+				view.BorderOverride = func(a, b int) (int, int, bool) {
+					lo, hi := a, b
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					pairs := bb[[2]int{lo, hi}]
+					if len(pairs) == 0 || (a+b)%2 == 0 {
+						return 0, 0, false
+					}
+					if a == lo {
+						return pairs[0].Low, pairs[0].High, true
+					}
+					return pairs[0].High, pairs[0].Low, true
+				}
+			}
+			srcCluster := topo.ClusterOf(req.Source)
+			destCluster := view.ClusterID
+
+			cspF, costF, handled, errF := r.clusterLevelPathFlat(req, srcCluster, destCluster)
+			cspG, costG, errG := r.clusterLevelPathGeneric(req, srcCluster, destCluster)
+			if !handled && errF == nil {
+				t.Fatalf("seed %d trial %d: flat path did not handle a dense-coverable view", seed, trial)
+			}
+			if (errF == nil) != (errG == nil) {
+				t.Fatalf("seed %d trial %d: flat err %v, generic err %v", seed, trial, errF, errG)
+			}
+			if errF != nil {
+				if errF.Error() != errG.Error() {
+					t.Fatalf("seed %d trial %d: flat err %q, generic err %q", seed, trial, errF, errG)
+				}
+				continue
+			}
+			if math.Float64bits(costF) != math.Float64bits(costG) {
+				t.Fatalf("seed %d trial %d: flat cost %v, generic cost %v (must be bit-identical)",
+					seed, trial, costF, costG)
+			}
+			if len(cspF) != len(cspG) {
+				t.Fatalf("seed %d trial %d: flat CSP %v, generic CSP %v", seed, trial, cspF, cspG)
+			}
+			for i := range cspF {
+				if cspF[i] != cspG[i] {
+					t.Fatalf("seed %d trial %d: CSP entry %d: flat %v, generic %v",
+						seed, trial, i, cspF[i], cspG[i])
+				}
+			}
+		}
+	}
+}
+
+// TestClusterLevelPathFlatSharedView repeats the equivalence check on
+// aliasing SharedViews (the 100k-node runtime's view flavor), where every
+// coordinate goes through ResolveCoord instead of a materialized map.
+func TestClusterLevelPathFlatSharedView(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	topo, caps, states := randomOverlay(t, rng, 4, 6, 10)
+	gen, err := svc.NewRequestGenerator(rng, caps, 2, 5)
+	if err != nil {
+		t.Fatalf("NewRequestGenerator: %v", err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		mkRouter := func(view *hfc.NodeView) *HierarchicalRouter {
+			return &HierarchicalRouter{
+				View:            view,
+				State:           &states[req.Dest],
+				ClusterOfSource: topo.ClusterOf,
+				Mode:            RelaxBacktrack,
+			}
+		}
+		shared, err := topo.SharedView(req.Dest)
+		if err != nil {
+			t.Fatalf("SharedView(%d): %v", req.Dest, err)
+		}
+		rs := mkRouter(shared)
+		cspF, costF, handled, errF := rs.clusterLevelPathFlat(req, topo.ClusterOf(req.Source), shared.ClusterID)
+		cspG, costG, errG := rs.clusterLevelPathGeneric(req, topo.ClusterOf(req.Source), shared.ClusterID)
+		if !handled && errF == nil {
+			t.Fatalf("trial %d: flat path did not handle a shared view", trial)
+		}
+		if (errF == nil) != (errG == nil) {
+			t.Fatalf("trial %d: flat err %v, generic err %v", trial, errF, errG)
+		}
+		if errF != nil {
+			continue
+		}
+		if math.Float64bits(costF) != math.Float64bits(costG) {
+			t.Fatalf("trial %d: flat cost %v, generic cost %v", trial, costF, costG)
+		}
+		for i := range cspF {
+			if cspF[i] != cspG[i] {
+				t.Fatalf("trial %d: CSP entry %d: flat %v, generic %v", trial, i, cspF[i], cspG[i])
+			}
+		}
+	}
+}

@@ -218,8 +218,24 @@ type label struct {
 	parentE int // entry border of predecessor (Exact mode), else -1
 }
 
-// clusterLevelPath maps the request onto clusters (§5.1 steps 1–2).
+// clusterLevelPath maps the request onto clusters (§5.1 steps 1–2). The
+// greedy modes run on the flat SoA implementation (cspflat.go); RelaxExact
+// — and any view the dense tables cannot describe — takes the generic
+// map-based search. Both produce identical results (asserted by
+// TestClusterLevelPathFlatMatchesGeneric).
 func (r *HierarchicalRouter) clusterLevelPath(req svc.Request, srcCluster, destCluster int) ([]CSPEntry, float64, error) {
+	if r.mode() != RelaxExact {
+		csp, cost, handled, err := r.clusterLevelPathFlat(req, srcCluster, destCluster)
+		if handled || err != nil {
+			return csp, cost, err
+		}
+	}
+	return r.clusterLevelPathGeneric(req, srcCluster, destCluster)
+}
+
+// clusterLevelPathGeneric is the map-based reference implementation of the
+// cluster-level search, covering every relaxation mode.
+func (r *HierarchicalRouter) clusterLevelPathGeneric(req svc.Request, srcCluster, destCluster int) ([]CSPEntry, float64, error) {
 	sg := req.SG
 	nv := sg.Len()
 

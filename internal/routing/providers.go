@@ -63,8 +63,36 @@ func BuildProviderIndex(st *state.NodeState, members []int) *ProviderIndex {
 			pi.clusters[s] = append(pi.clusters[s], c)
 		}
 	}
+	pi.local = packLists(pi.local)
+	pi.clusters = packLists(pi.clusters)
 	pi.fn = func(s svc.Service) []int { return pi.local[s] }
 	return pi
+}
+
+// packLists rewrites a map of per-service lists so every list is a window
+// into one shared CSR-style backing array, replacing len(m) separately grown
+// slices (and their append-doubling waste) with a single contiguous
+// allocation that hot readers walk with perfect locality. List contents and
+// per-list order are unchanged; map keys stay as-is.
+func packLists(m map[svc.Service][]int) map[svc.Service][]int {
+	total := 0
+	keys := make([]svc.Service, 0, len(m))
+	for s, l := range m {
+		total += len(l)
+		keys = append(keys, s)
+	}
+	// Sorted key order keeps the backing layout deterministic (map
+	// iteration order would not change any list's contents, but a
+	// reproducible array is worth the sort at build time).
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	backing := make([]int, 0, total)
+	for _, s := range keys {
+		l := m[s]
+		off := len(backing)
+		backing = append(backing, l...)
+		m[s] = backing[off : off+len(l) : off+len(l)]
+	}
+	return m
 }
 
 // Providers returns the sorted own-cluster providers of s (shared slice —

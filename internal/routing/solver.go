@@ -32,6 +32,13 @@ type LocalIntraSolver struct {
 	// suspected-partitioned proxies through. It must be safe for concurrent
 	// use.
 	Exclude func(node int) bool
+	// ExcludeAny, when non-nil alongside Exclude, reports whether ANY node
+	// is currently excluded. When it returns false the solver skips the
+	// per-service filtered copy of every provider list entirely — the
+	// common fault-free steady state — instead of copying each list only to
+	// keep every element. It must be safe for concurrent use and may be
+	// conservatively true.
+	ExcludeAny func() bool
 }
 
 var _ IntraSolver = (*LocalIntraSolver)(nil)
@@ -86,7 +93,7 @@ func (s *LocalIntraSolver) SolveChild(child ChildRequest) (*Path, error) {
 			return out
 		}
 	}
-	if s.Exclude != nil {
+	if s.Exclude != nil && (s.ExcludeAny == nil || s.ExcludeAny()) {
 		inner := providers
 		providers = func(x svc.Service) []int {
 			all := inner(x)

@@ -19,6 +19,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -179,6 +181,7 @@ func NewEngine(topo *hfc.Topology, caps []svc.CapabilitySet, states []state.Node
 		lkg:         make(map[routing.CacheKey]*routing.Result),
 	}
 	e.solver.Exclude = e.IsUnavailable
+	e.solver.ExcludeAny = func() bool { return e.unavailN.Load() > 0 }
 	return e, nil
 }
 
@@ -222,6 +225,15 @@ func (e *Engine) ResolveDetailed(req svc.Request) (*routing.Result, error) {
 	}
 	canonical := req.SG.Canonical()
 	key := routing.NewCacheKeyCanonical(req.Source, req.Dest, canonical)
+	return e.resolveKeyed(req, key, canonical)
+}
+
+// resolveKeyed is resolution past validation and cache-key construction:
+// the degraded check, cache lookup, in-flight dedup, and computation.
+// Callers guarantee req is valid and (key, canonical) match req.
+//
+//hfc:hotpath budget=3
+func (e *Engine) resolveKeyed(req svc.Request, key routing.CacheKey, canonical string) (*routing.Result, error) {
 	if e.unavailable[req.Dest].Load() {
 		// The destination resolver is unreachable, so a fresh §5
 		// computation (which that proxy would perform) is impossible.
@@ -397,6 +409,173 @@ func (e *Engine) ResolveAll(reqs []svc.Request, workers int) ([]*routing.Path, [
 		paths[i], errs[i] = e.Resolve(reqs[i])
 	})
 	return paths, errs
+}
+
+// batchGroup is one distinct request within a batch: the representative
+// request, every batch position that asked for it, and the resolution
+// artifacts computed once for the whole group. Groups sharing a service
+// graph but differing in endpoints chain through next (duplicates in real
+// streams share the whole request, so chains are almost always length 1 and
+// the dedup probe stays a one-word map lookup).
+type batchGroup struct {
+	req         svc.Request
+	idxs        []int
+	next        int32
+	destCluster int
+	key         routing.CacheKey
+	canonical   string
+	res         *routing.Result
+	err         error
+}
+
+// batchScratch is the reusable grouping arena of ResolveBatchDetailed;
+// pooled so steady-state batch calls do not rebuild the map or regrow the
+// group, permutation, and index slices.
+type batchScratch struct {
+	bySG  map[*svc.Graph]int32
+	order []batchGroup
+	perm  []int32
+}
+
+// appendGroup opens a new group for (req, first batch position i), reusing
+// the retained index-slice capacity of the slot the group lands in.
+func (sc *batchScratch) appendGroup(req svc.Request, i int) int32 {
+	gi := int32(len(sc.order))
+	var idxs []int
+	if len(sc.order) < cap(sc.order) {
+		idxs = sc.order[: gi+1 : gi+1][gi].idxs[:0]
+	}
+	sc.order = append(sc.order, batchGroup{req: req, idxs: append(idxs, i), next: -1})
+	return gi
+}
+
+var batchPool = sync.Pool{
+	New: func() any { return &batchScratch{bySG: make(map[*svc.Graph]int32)} },
+}
+
+// ResolveBatch answers a batch of requests, amortizing per-request overhead
+// across duplicates: requests with the same (source, destination,
+// service-graph) resolve once and share the result. See
+// ResolveBatchDetailed.
+func (e *Engine) ResolveBatch(reqs []svc.Request, workers int) ([]*routing.Path, []error) {
+	results, errs := e.ResolveBatchDetailed(reqs, workers)
+	paths := make([]*routing.Path, len(results))
+	for i, res := range results {
+		if res != nil {
+			paths[i] = res.Path
+		}
+	}
+	return paths, errs
+}
+
+// ResolveBatchDetailed answers a batch of requests with full §5 results,
+// aligned with reqs; each request succeeds or fails independently, exactly
+// as a loop over ResolveDetailed would, but with the per-request overhead
+// amortized across the batch:
+//
+//   - service graphs are canonicalized once per distinct *svc.Graph, not
+//     once per request (streams cycling a request pool share graph values);
+//   - identical requests are grouped by cache key and resolved once, the
+//     shared read-only result scattered to every position — no flight-map
+//     round trip per duplicate;
+//   - groups resolve in destination-cluster order, so consecutive
+//     resolutions on a worker reuse the same hot view, provider index, and
+//     router scratch (the routing pools are per-P; sorted order keeps them
+//     warm) instead of ping-ponging between destinations.
+//
+// workers bounds the fan-out over distinct groups (0 = the engine default,
+// 1 = serial, negative = all cores). In-batch sharing does not count toward
+// Stats.Deduped (it never enters the flight map); concurrent callers outside
+// the batch dedup against it as usual.
+//
+//hfc:hotpath budget=6
+func (e *Engine) ResolveBatchDetailed(reqs []svc.Request, workers int) ([]*routing.Result, []error) {
+	if workers == 0 {
+		workers = e.workers
+	}
+	results := make([]*routing.Result, len(reqs))
+	errs := make([]error, len(reqs))
+	sc := batchPool.Get().(*batchScratch)
+	sc.order = sc.order[:0]
+	clear(sc.bySG)
+	for i := range reqs {
+		req := &reqs[i]
+		if gi, ok := sc.bySG[req.SG]; ok {
+			for {
+				g := &sc.order[gi]
+				if g.req.Source == req.Source && g.req.Dest == req.Dest {
+					//hfcvet:ignore hotalloc per-group index list retains capacity across pooled batch calls
+					g.idxs = append(g.idxs, i)
+					gi = -1
+					break
+				}
+				if g.next < 0 {
+					break
+				}
+				gi = g.next
+			}
+			if gi < 0 {
+				continue
+			}
+			// Same graph, different endpoints: chain a sibling group.
+			sc.order[gi].next = sc.appendGroup(*req, i)
+			continue
+		}
+		sc.bySG[req.SG] = sc.appendGroup(*req, i)
+	}
+	// Per-group front matter, once per distinct request instead of once per
+	// batch position: validation, canonicalization, cache-key hashing.
+	n := e.topo.N()
+	for gi := range sc.order {
+		g := &sc.order[gi]
+		if err := g.req.Validate(n); err != nil {
+			g.err = err
+			continue
+		}
+		g.destCluster = e.topo.ClusterOf(g.req.Dest)
+		g.canonical = g.req.SG.Canonical()
+		g.key = routing.NewCacheKeyCanonical(g.req.Source, g.req.Dest, g.canonical)
+	}
+	// Deterministic, locality-friendly resolution order regardless of the
+	// batch's arrival order: consecutive groups on a worker share the same
+	// destination's hot view, provider index, and pooled router scratch.
+	// Sorting a permutation keeps the comparator's swaps to int32s instead
+	// of the fat group structs (whose slice addresses the chains hold).
+	sc.perm = sc.perm[:0]
+	for gi := range sc.order {
+		//hfcvet:ignore hotalloc permutation retains capacity across pooled batch calls
+		sc.perm = append(sc.perm, int32(gi))
+	}
+	slices.SortFunc(sc.perm, func(a, b int32) int {
+		ga, gb := &sc.order[a], &sc.order[b]
+		if ga.destCluster != gb.destCluster {
+			return ga.destCluster - gb.destCluster
+		}
+		if ga.req.Dest != gb.req.Dest {
+			return ga.req.Dest - gb.req.Dest
+		}
+		if ga.req.Source != gb.req.Source {
+			return ga.req.Source - gb.req.Source
+		}
+		return strings.Compare(ga.canonical, gb.canonical)
+	})
+	par.For(len(sc.perm), workers, func(j int) {
+		g := &sc.order[sc.perm[j]]
+		if g.err != nil {
+			return
+		}
+		g.res, g.err = e.resolveKeyed(g.req, g.key, g.canonical)
+	})
+	for gi := range sc.order {
+		g := &sc.order[gi]
+		for _, i := range g.idxs {
+			results[i], errs[i] = g.res, g.err
+		}
+		// Drop result references before pooling; keep idxs capacity.
+		g.res, g.err, g.req, g.canonical = nil, nil, svc.Request{}, ""
+	}
+	batchPool.Put(sc)
+	return results, errs
 }
 
 // UpdateCapability replaces one proxy's installed services and re-converges
